@@ -1,0 +1,35 @@
+"""Boolean suites (Q2): Norn-B, SyGuS-qgen-like, RegExLib
+Intersection/Subset — per-suite passes for the reference engine."""
+
+import pytest
+
+from repro.bench.engines import reference_engine
+from repro.bench.generators import norn, regexlib, sygus
+from repro.bench.harness import run_problem
+from repro.bench.suites import label_problems
+
+from conftest import BUDGET_SECONDS, FUEL
+
+SUITES = [
+    ("norn_b", norn.generate_b),
+    ("sygus", sygus.generate),
+    ("regexlib_intersection", regexlib.generate_intersection),
+    ("regexlib_subset", regexlib.generate_subset),
+]
+
+
+@pytest.mark.parametrize("name,generate", SUITES, ids=[s[0] for s in SUITES])
+def test_boolean_suite(benchmark, builder, name, generate):
+    engine = reference_engine()
+    suite = label_problems(builder, generate(builder))
+
+    def solve_suite():
+        return [
+            run_problem(engine, builder, p, fuel=FUEL, seconds=BUDGET_SECONDS)
+            for p in suite
+        ]
+
+    records = benchmark.pedantic(solve_suite, rounds=1, iterations=1)
+    solved = sum(1 for r in records if r.solved)
+    benchmark.extra_info["solved"] = "%d/%d" % (solved, len(records))
+    assert solved == len(records)

@@ -1,0 +1,47 @@
+"""Figure 4(a): the solver-comparison summary table.
+
+One benchmark per engine: a full pass over every suite (NB + B + H)
+under the fixed per-problem budget.  Once the last engine finishes,
+the Figure 4(a) table (% solved, average, median per group) is printed
+and written to ``benchmarks/out/fig4a_summary.txt``.
+"""
+
+import pytest
+
+from repro.bench.reporting import figure_4a_table, speedup_vs
+
+from conftest import (
+    BUDGET_SECONDS, all_engines, ensure_engine_records, write_artifact,
+)
+
+ENGINES = all_engines()
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=[e.name for e in ENGINES])
+def test_fig4a_engine_pass(benchmark, engine, builder, problems, records_store):
+    def full_pass():
+        records_store.pop(engine.name, None)
+        return ensure_engine_records(records_store, engine, builder, problems)
+
+    records = benchmark.pedantic(full_pass, rounds=1, iterations=1)
+    solved = sum(1 for r in records if r.solved)
+    wrong = [r.problem.name for r in records if r.outcome == "wrong"]
+    assert not wrong, "wrong answers from %s: %s" % (engine.name, wrong[:5])
+    benchmark.extra_info["solved"] = solved
+    benchmark.extra_info["total"] = len(records)
+
+    if len(records_store) == len(ENGINES):
+        merged = [r for recs in records_store.values() for r in recs]
+        table = figure_4a_table(
+            merged, BUDGET_SECONDS, engines=[e.name for e in ENGINES]
+        )
+        ratios = speedup_vs(merged, BUDGET_SECONDS)
+        lines = [table, "", "average-time ratio vs sbd (ours):"]
+        for group, cells in sorted(ratios.items()):
+            lines.append("  %s: %s" % (
+                group,
+                ", ".join("%s=%.2fx" % kv for kv in sorted(cells.items())),
+            ))
+        text = "\n".join(lines)
+        print("\n" + text)
+        write_artifact("fig4a_summary.txt", text)

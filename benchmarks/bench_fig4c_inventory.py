@@ -1,0 +1,27 @@
+"""Figure 4(c): the benchmark inventory table (paper counts vs ours).
+
+Times suite generation + labelling and writes the inventory table to
+``benchmarks/out/fig4c_inventory.txt``.
+"""
+
+from repro.alphabet import IntervalAlgebra
+from repro.regex import RegexBuilder
+from repro.bench.reporting import figure_4c_table
+from repro.bench.suites import all_suites, label_problems, suite_inventory
+
+from conftest import write_artifact
+
+
+def test_fig4c_inventory(benchmark):
+    def generate_and_label():
+        builder = RegexBuilder(IntervalAlgebra())
+        problems = label_problems(builder, all_suites(builder))
+        return builder, problems
+
+    builder, problems = benchmark.pedantic(
+        generate_and_label, rounds=1, iterations=1
+    )
+    assert all(p.expected in ("sat", "unsat") for p in problems)
+    text = figure_4c_table(suite_inventory(builder))
+    print("\n" + text)
+    write_artifact("fig4c_inventory.txt", text)

@@ -1,0 +1,34 @@
+"""Standard suites (Q1): Kaluza-, Slog-, Norn-like — per-suite passes
+for the reference engine (the paper's sanity check that derivative
+solving does not regress on easy, non-Boolean constraints)."""
+
+import pytest
+
+from repro.bench.engines import reference_engine
+from repro.bench.generators import kaluza, norn, slog
+from repro.bench.harness import run_problem
+
+from conftest import BUDGET_SECONDS, FUEL
+
+SUITES = [
+    ("kaluza", kaluza.generate),
+    ("slog", slog.generate),
+    ("norn_nb", norn.generate_nb),
+]
+
+
+@pytest.mark.parametrize("name,generate", SUITES, ids=[s[0] for s in SUITES])
+def test_standard_suite(benchmark, builder, name, generate):
+    engine = reference_engine()
+    suite = generate(builder)
+
+    def solve_suite():
+        return [
+            run_problem(engine, builder, p, fuel=FUEL, seconds=BUDGET_SECONDS)
+            for p in suite
+        ]
+
+    records = benchmark.pedantic(solve_suite, rounds=1, iterations=1)
+    solved = sum(1 for r in records if r.outcome == "correct")
+    benchmark.extra_info["solved"] = "%d/%d" % (solved, len(records))
+    assert solved == len(records)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: solving extended regex constraints with symbolic
+Boolean derivatives.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Budget, IntervalAlgebra, RegexBuilder, RegexSolver, matches, parse,
+    to_pattern,
+)
+
+
+def main():
+    # 1. Pick a character theory.  The default interval algebra covers
+    #    the Unicode Basic Multilingual Plane, like the paper's setting.
+    algebra = IntervalAlgebra()
+    builder = RegexBuilder(algebra)
+    solver = RegexSolver(builder)
+
+    # 2. Parse an *extended* regex: & is intersection, ~ complement.
+    #    This is the paper's Section 2 password constraint: contains a
+    #    digit, but never the substring "01".
+    r = parse(builder, r"(.*\d.*)&~(.*01.*)")
+    print("constraint:", to_pattern(r, algebra))
+
+    # 3. Satisfiability with a witness.
+    result = solver.is_satisfiable(r)
+    print("status:", result.status)
+    print("witness:", repr(result.witness))
+    assert matches(algebra, r, result.witness)
+
+    # 4. Unsatisfiability comes with a proof by exhaustion of the lazy
+    #    derivative graph (dead-state detection, Section 5).
+    conflict = parse(builder, r"(.*\d.*)&~(.*\d.*)")
+    print("conflicting constraint:", solver.is_satisfiable(conflict).status)
+
+    # 5. Containment and equivalence reduce to emptiness of Boolean
+    #    combinations (Section 5).
+    narrow = parse(builder, r"\d{4}")
+    wide = parse(builder, r"\d{2,6}")
+    print("\\d{4} subset of \\d{2,6}:", solver.contains(narrow, wide).status)
+    print(
+        "a*b* equivalent to (a|b)*:",
+        solver.equivalent(parse(builder, "a*b*"), parse(builder, "(a|b)*")).status,
+    )
+    counterexample = solver.equivalent(
+        parse(builder, "a*b*"), parse(builder, "(a|b)*")
+    ).witness
+    print("  distinguishing string:", repr(counterexample))
+
+    # 6. Budgets make hard instances fail deterministically instead of
+    #    hanging (the benchmark harness uses the same mechanism).
+    hard = parse(builder, "~(.*a.{40})&~(.*b.{40})&(a|b){60}")
+    print("tiny budget on a hard instance:",
+          solver.is_satisfiable(hard, Budget(fuel=10)).status)
+
+
+if __name__ == "__main__":
+    main()

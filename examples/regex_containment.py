@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""RegExLib-style containment and intersection analysis.
+
+Takes realistic regexes (email, URL, date, IP...) and answers the
+questions the paper's RegExLib suites ask: is one pattern contained in
+another, do two patterns overlap, and — when the answer is no — what
+is a concrete counterexample?
+
+Run:  python examples/regex_containment.py
+"""
+
+from repro import Budget, IntervalAlgebra, RegexBuilder, RegexSolver, parse
+from repro.bench.generators.patterns import PATTERNS
+
+
+def main():
+    builder = RegexBuilder(IntervalAlgebra())
+    solver = RegexSolver(builder)
+    budget = lambda: Budget(fuel=500000, seconds=10.0)
+
+    compiled = {
+        name: parse(builder, PATTERNS[name])
+        for name in ("email", "email_simple", "ipv4", "ipv4_strict",
+                     "date_iso", "date_us", "integer", "float", "binary",
+                     "hex_number", "identifier", "username")
+    }
+
+    print("== containment queries ==")
+    queries = [
+        ("ipv4_strict", "ipv4"),      # strict dotted quad is a dotted quad
+        ("ipv4", "ipv4_strict"),      # but not conversely (999.0.0.1)
+        ("binary", "integer"),        # 0/1 strings are integers
+        ("float", "integer"),         # "1.5" has a dot: not an integer
+        ("username", "identifier"),   # usernames may start with a digit
+    ]
+    for sub, sup in queries:
+        result = solver.contains(compiled[sub], compiled[sup], budget())
+        if result.is_sat:
+            print("  %-12s SUBSETOF %-12s holds" % (sub, sup))
+        else:
+            print("  %-12s SUBSETOF %-12s fails, e.g. %r"
+                  % (sub, sup, result.witness))
+
+    print("\n== intersection (overlap) queries ==")
+    pairs = [
+        ("email", "email_simple"),
+        ("date_iso", "date_us"),
+        ("integer", "hex_number"),
+        ("identifier", "hex_number"),
+    ]
+    for left, right in pairs:
+        both = builder.inter([compiled[left], compiled[right]])
+        result = solver.is_satisfiable(both, budget())
+        if result.is_sat:
+            print("  %-12s and %-12s overlap, e.g. %r"
+                  % (left, right, result.witness))
+        else:
+            print("  %-12s and %-12s are disjoint" % (left, right))
+
+    print("\n== equivalence modulo a restriction ==")
+    # over strings of digits only, ipv4 and ipv4_strict still differ
+    digit_quad = parse(builder, r"(\d{1,3}\.){3}\d{1,3}")
+    loose = builder.inter([compiled["ipv4"], digit_quad])
+    strict = builder.inter([compiled["ipv4_strict"], digit_quad])
+    result = solver.equivalent(loose, strict, budget())
+    print("  loose == strict over dotted quads:", result.status)
+    if result.is_unsat:
+        print("  distinguishing address:", repr(result.witness))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""A tiny SMT-LIB front end: solve ``.smt2`` string/regex scripts.
+
+Usage:
+    python examples/smt2_runner.py file.smt2 [more.smt2 ...]
+    python examples/smt2_runner.py            # runs a built-in demo
+
+Supports the QF_S subset described in ``repro.smtlib.parser`` —
+``str.in_re`` with the full ``re.*`` algebra including ``re.inter``,
+``re.comp`` and ``(_ re.loop i j)``, plus length atoms.
+"""
+
+import sys
+
+from repro import Budget, IntervalAlgebra, RegexBuilder, run_script
+from repro.smtlib.interp import run_file
+
+DEMO = """\
+(set-logic QF_S)
+(set-info :status sat)
+(declare-const pwd String)
+; at least one digit
+(assert (str.in_re pwd (re.++ re.all (re.range "0" "9") re.all)))
+; never the substring "01"
+(assert (not (str.in_re pwd (re.++ re.all (str.to_re "01") re.all))))
+; between 8 and 128 characters
+(assert (str.in_re pwd ((_ re.loop 8 128) re.allchar)))
+(check-sat)
+"""
+
+
+def report(name, result):
+    print("%s: %s" % (name, result.status))
+    if result.model:
+        for var, value in sorted(result.model.items()):
+            print("  %s = %r" % (var, value))
+    expected = result.stats.get("expected")
+    if expected:
+        verdict = "matches" if expected == result.status else "DIFFERS FROM"
+        print("  (:status annotation %s the result)" % verdict)
+
+
+def main(argv):
+    builder = RegexBuilder(IntervalAlgebra())
+    budget = Budget(fuel=2000000, seconds=60.0)
+    if len(argv) > 1:
+        for path in argv[1:]:
+            report(path, run_file(builder, path, budget=budget))
+    else:
+        print("no input files; running the built-in demo script:\n")
+        print(DEMO)
+        report("demo", run_script(builder, DEMO, budget=budget))
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Online stream validation with extended regexes.
+
+A Monitor consumes input one character at a time and keeps an *exact*
+three-valued verdict: matching / pending / failed-forever.  "Failed
+forever" is decided by the solver's dead-state detection (Section 5),
+so a violated policy is reported at the earliest possible character —
+the testing/monitoring application the paper's related work cites.
+
+Run:  python examples/stream_monitor.py
+"""
+
+from repro import IntervalAlgebra, RegexBuilder, parse
+from repro.matcher.monitor import FAILED, MATCHING, Monitor
+
+
+def show(builder, pattern, stream):
+    monitor = Monitor(builder, parse(builder, pattern))
+    print("policy: %s" % pattern)
+    print("stream: %r" % stream)
+    line = ["  "]
+    failed_at = None
+    for i, ch in enumerate(stream):
+        verdict = monitor.feed(ch)
+        line.append({MATCHING: "+", FAILED: "X"}.get(verdict, "."))
+        if verdict == FAILED and failed_at is None:
+            failed_at = i
+    print("".join(line), "  (+ matching, . pending, X failed forever)")
+    if failed_at is not None:
+        print("  -> policy irrecoverably violated at index %d (%r)"
+              % (failed_at, stream[failed_at]))
+    print()
+
+
+def main():
+    builder = RegexBuilder(IntervalAlgebra())
+
+    # a session token: letters then digits, never two hyphens
+    show(builder, r"[a-z]+-\d+", "abc-123")
+    show(builder, r"[a-z]+-\d+", "abc--12")
+
+    # an audit log line must contain OK but never ERROR
+    show(builder, r".*OK.*&~(.*ERROR.*)", "boot..OK..shutdown")
+    show(builder, r".*OK.*&~(.*ERROR.*)", "boot..ERROR..OK")
+
+    # balanced-ish framing: at most 3 frames of ab
+    show(builder, r"(ab){0,3}", "abababab")
+
+
+if __name__ == "__main__":
+    main()

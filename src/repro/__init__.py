@@ -1,0 +1,55 @@
+"""repro — Symbolic Boolean derivatives for extended regular
+expression constraints.
+
+A from-scratch reproduction of *Symbolic Boolean Derivatives for
+Efficiently Solving Extended Regular Expression Constraints*
+(Stanford, Veanes, Bjørner; PLDI 2021).
+
+Quickstart::
+
+    from repro import IntervalAlgebra, RegexBuilder, RegexSolver, parse
+
+    algebra = IntervalAlgebra()                  # Unicode BMP
+    builder = RegexBuilder(algebra)
+    solver = RegexSolver(builder)
+
+    r = parse(builder, r"(.*\\d.*)&~(.*01.*)")   # Section 2's example
+    result = solver.is_satisfiable(r)
+    assert result.is_sat and result.witness is not None
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.alphabet import (
+    BDDAlgebra, BitsetAlgebra, BooleanAlgebra, CharSet, IntervalAlgebra,
+)
+from repro.regex import RegexBuilder, parse, to_pattern
+from repro.regex.semantics import Matcher, matches
+from repro.derivatives import DerivativeEngine, delta_dnf, derivative
+from repro.solver import (
+    Budget, PropagationEngine, RegexSolver, SmtSolver, SolverResult, formula,
+)
+from repro.sbfa import SBFA, from_regex as sbfa_from_regex
+from repro.smtlib import parse_script, run_script, script_text
+from repro.matcher import Match, RegexMatcher, compile_pattern
+from repro.analysis import LanguageCounter
+from repro.solver.context import SolverContext
+from repro.solver.equivalence import BisimulationChecker
+from repro import errors, visualize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BooleanAlgebra", "IntervalAlgebra", "BitsetAlgebra", "BDDAlgebra",
+    "CharSet",
+    "RegexBuilder", "parse", "to_pattern", "Matcher", "matches",
+    "derivative", "delta_dnf", "DerivativeEngine",
+    "RegexSolver", "SmtSolver", "PropagationEngine", "Budget",
+    "SolverResult", "formula",
+    "SBFA", "sbfa_from_regex",
+    "parse_script", "run_script", "script_text",
+    "RegexMatcher", "Match", "compile_pattern",
+    "SolverContext", "BisimulationChecker", "LanguageCounter",
+    "errors", "visualize",
+]

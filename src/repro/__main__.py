@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``check PATTERN`` — satisfiability of an extended regex pattern,
+  with a witness when sat;
+* ``contains SUB SUP`` — language containment, with a counterexample;
+* ``equiv LEFT RIGHT`` — language equivalence, with a distinguishing
+  string;
+* ``match PATTERN TEXT`` — full-match and leftmost-search of a text;
+* ``solve FILE.smt2 ...`` — run SMT-LIB scripts;
+* ``graph PATTERN`` — print the derivative graph (add ``--dot`` for
+  Graphviz output).
+
+All commands take ``--ascii`` (7-bit domain), ``--fuel N`` and
+``--seconds S`` budget flags.
+"""
+
+import argparse
+import sys
+
+from repro.alphabet import IntervalAlgebra
+from repro.matcher import RegexMatcher
+from repro.regex import RegexBuilder, parse, to_pattern
+from repro.smtlib.interp import run_file
+from repro.solver import Budget, RegexSolver
+from repro.visualize import graph_to_dot, graph_to_text
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Symbolic Boolean derivatives for extended regexes "
+                    "(PLDI 2021 reproduction)",
+    )
+    parser.add_argument("--ascii", action="store_true",
+                        help="use a 7-bit character domain instead of the BMP")
+    parser.add_argument("--fuel", type=int, default=1000000,
+                        help="solver step budget (default 1000000)")
+    parser.add_argument("--seconds", type=float, default=60.0,
+                        help="wall clock budget (default 60)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="satisfiability of a pattern")
+    check.add_argument("pattern")
+
+    contains = sub.add_parser("contains", help="language containment")
+    contains.add_argument("sub")
+    contains.add_argument("sup")
+
+    equiv = sub.add_parser("equiv", help="language equivalence")
+    equiv.add_argument("left")
+    equiv.add_argument("right")
+
+    match = sub.add_parser("match", help="match a text against a pattern")
+    match.add_argument("pattern")
+    match.add_argument("text")
+
+    solve = sub.add_parser("solve", help="run SMT-LIB scripts")
+    solve.add_argument("files", nargs="+")
+
+    graph = sub.add_parser("graph", help="print the derivative graph")
+    graph.add_argument("pattern")
+    graph.add_argument("--dot", action="store_true")
+    graph.add_argument("--max-states", type=int, default=50)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    algebra = IntervalAlgebra(127) if args.ascii else IntervalAlgebra()
+    builder = RegexBuilder(algebra)
+    budget = lambda: Budget(fuel=args.fuel, seconds=args.seconds)
+    out = []
+
+    if args.command == "check":
+        solver = RegexSolver(builder)
+        result = solver.is_satisfiable(parse(builder, args.pattern), budget())
+        out.append(result.status)
+        if result.is_sat:
+            out.append("witness: %r" % result.witness)
+        status = 0 if not result.is_unknown else 2
+    elif args.command == "contains":
+        solver = RegexSolver(builder)
+        result = solver.contains(
+            parse(builder, args.sub), parse(builder, args.sup), budget()
+        )
+        if result.is_sat:
+            out.append("containment holds")
+        elif result.is_unsat:
+            out.append("containment fails; counterexample: %r" % result.witness)
+        else:
+            out.append("unknown (%s)" % result.reason)
+        status = 0 if not result.is_unknown else 2
+    elif args.command == "equiv":
+        solver = RegexSolver(builder)
+        result = solver.equivalent(
+            parse(builder, args.left), parse(builder, args.right), budget()
+        )
+        if result.is_sat:
+            out.append("equivalent")
+        elif result.is_unsat:
+            out.append("not equivalent; distinguishing string: %r"
+                       % result.witness)
+        else:
+            out.append("unknown (%s)" % result.reason)
+        status = 0 if not result.is_unknown else 2
+    elif args.command == "match":
+        matcher = RegexMatcher(builder, parse(builder, args.pattern))
+        out.append("fullmatch: %s" % matcher.fullmatch(args.text))
+        found = matcher.search(args.text)
+        if found is None:
+            out.append("search: no match")
+        else:
+            out.append("search: span=%s group=%r" % (found.span(), found.group()))
+        status = 0
+    elif args.command == "solve":
+        status = 0
+        for path in args.files:
+            result = run_file(builder, path, budget=budget())
+            line = "%s: %s" % (path, result.status)
+            if result.model:
+                line += "  " + " ".join(
+                    "%s=%r" % kv for kv in sorted(result.model.items())
+                )
+            out.append(line)
+            if result.is_unknown:
+                status = 2
+    elif args.command == "graph":
+        regex = parse(builder, args.pattern)
+        render = graph_to_dot if args.dot else graph_to_text
+        out.append(render(builder, regex, max_states=args.max_states))
+        status = 0
+    else:  # pragma: no cover - argparse enforces the choices
+        status = 1
+
+    print("\n".join(out))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Character theories: effective Boolean algebras over character domains.
+
+The solver is parametric in an :class:`~repro.alphabet.algebra.BooleanAlgebra`
+exactly as the paper's theory is parametric in the alphabet theory
+:math:`\\mathcal{A}`.
+"""
+
+from repro.alphabet.algebra import BooleanAlgebra
+from repro.alphabet.intervals import BMP_MAX, UNICODE_MAX, CharSet, IntervalAlgebra
+from repro.alphabet.bitset import BitsetAlgebra, BitsetPred
+from repro.alphabet.bdd import BDDAlgebra
+from repro.alphabet.minterms import minterms, partition_check
+from repro.alphabet import charclass
+
+__all__ = [
+    "BooleanAlgebra",
+    "IntervalAlgebra",
+    "CharSet",
+    "BMP_MAX",
+    "UNICODE_MAX",
+    "BitsetAlgebra",
+    "BitsetPred",
+    "BDDAlgebra",
+    "minterms",
+    "partition_check",
+    "charclass",
+]

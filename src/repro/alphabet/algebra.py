@@ -1,0 +1,149 @@
+"""Effective Boolean algebras over a character domain (paper, Section 3).
+
+An *effective Boolean algebra* is a tuple ``(D, Psi, [[_]], bot, top,
+or, and, not)`` where ``Psi`` is a set of predicates closed under the
+Boolean connectives, ``[[_]]`` maps predicates to subsets of the domain
+``D``, and satisfiability of predicates is decidable.
+
+Every concrete algebra in this package is additionally *extensional*:
+equivalent predicates are represented by the same canonical object, so
+semantic checks like ``phi /\\ psi == bot`` reduce to structural ones.
+This is what keeps the "clean conditional regex" machinery of Section 4
+cheap.
+
+Concrete implementations:
+
+* :class:`repro.alphabet.intervals.IntervalAlgebra` — codepoint
+  interval sets (the default; models Z3's Unicode character theory).
+* :class:`repro.alphabet.bitset.BitsetAlgebra` — tiny finite alphabets
+  encoded as machine-integer bitmasks (handy for exhaustive testing).
+* :class:`repro.alphabet.bdd.BDDAlgebra` — binary decision diagrams
+  over the bit encoding of codepoints (models the BDD representation
+  used by dZ3 / MONA-style transition sharing).
+"""
+
+from abc import ABC, abstractmethod
+
+from repro.errors import AlgebraError
+
+
+class BooleanAlgebra(ABC):
+    """Abstract effective Boolean algebra over a character domain.
+
+    Subclasses choose the predicate representation.  Predicates are
+    opaque values as far as clients are concerned; only the operations
+    below may be used to combine or inspect them.
+    """
+
+    # -- The two distinguished predicates ---------------------------------
+
+    @property
+    @abstractmethod
+    def bot(self):
+        """The predicate denoting the empty set."""
+
+    @property
+    @abstractmethod
+    def top(self):
+        """The predicate denoting the whole domain."""
+
+    # -- Boolean connectives ----------------------------------------------
+
+    @abstractmethod
+    def conj(self, phi, psi):
+        """Conjunction: ``[[conj(phi, psi)]] = [[phi]] & [[psi]]``."""
+
+    @abstractmethod
+    def disj(self, phi, psi):
+        """Disjunction: ``[[disj(phi, psi)]] = [[phi]] | [[psi]]``."""
+
+    @abstractmethod
+    def neg(self, phi):
+        """Negation: ``[[neg(phi)]] = D \\ [[phi]]``."""
+
+    # -- Decision problems --------------------------------------------------
+
+    @abstractmethod
+    def is_sat(self, phi):
+        """True iff ``[[phi]]`` is nonempty."""
+
+    @abstractmethod
+    def is_valid(self, phi):
+        """True iff ``[[phi]] = D``."""
+
+    @abstractmethod
+    def member(self, char, phi):
+        """True iff ``char in [[phi]]``."""
+
+    @abstractmethod
+    def pick(self, phi):
+        """Return some element of ``[[phi]]``.
+
+        Raises :class:`AlgebraError` if ``phi`` is unsatisfiable.
+        Implementations prefer printable characters when available so
+        that generated witnesses are readable.
+        """
+
+    # -- Construction --------------------------------------------------------
+
+    @abstractmethod
+    def from_char(self, char):
+        """Singleton predicate ``{char}``."""
+
+    @abstractmethod
+    def from_ranges(self, ranges):
+        """Predicate for a union of inclusive codepoint ranges.
+
+        ``ranges`` is an iterable of ``(lo, hi)`` pairs of codepoints
+        (or single characters); the result denotes their union.
+        """
+
+    # -- Derived operations (shared implementations) -------------------------
+
+    def diff(self, phi, psi):
+        """Set difference ``[[phi]] \\ [[psi]]``."""
+        return self.conj(phi, self.neg(psi))
+
+    def xor(self, phi, psi):
+        """Symmetric difference."""
+        return self.disj(self.diff(phi, psi), self.diff(psi, phi))
+
+    def conj_all(self, phis):
+        """Conjunction of an iterable of predicates (``top`` if empty)."""
+        result = self.top
+        for phi in phis:
+            result = self.conj(result, phi)
+            if result == self.bot:
+                break
+        return result
+
+    def disj_all(self, phis):
+        """Disjunction of an iterable of predicates (``bot`` if empty)."""
+        result = self.bot
+        for phi in phis:
+            result = self.disj(result, phi)
+            if result == self.top:
+                break
+        return result
+
+    def equiv(self, phi, psi):
+        """Semantic equivalence.  Extensional algebras make this ``==``."""
+        return phi == psi
+
+    def implies(self, phi, psi):
+        """True iff ``[[phi]]`` is a subset of ``[[psi]]``."""
+        return not self.is_sat(self.diff(phi, psi))
+
+    def is_singleton(self, phi):
+        """True iff ``[[phi]]`` contains exactly one character."""
+        count = self.count(phi)
+        return count == 1
+
+    def count(self, phi):
+        """Number of characters in ``[[phi]]`` (may be expensive)."""
+        raise NotImplementedError
+
+    def require_sat(self, phi):
+        """Raise :class:`AlgebraError` unless ``phi`` is satisfiable."""
+        if not self.is_sat(phi):
+            raise AlgebraError("predicate is unsatisfiable: %r" % (phi,))

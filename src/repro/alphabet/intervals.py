@@ -1,0 +1,232 @@
+"""Codepoint-interval character algebra.
+
+Predicates are canonical :class:`CharSet` values: sorted tuples of
+disjoint, non-adjacent, inclusive codepoint ranges.  This mirrors how
+Z3 (and dZ3) represent Unicode character predicates, supports the full
+Unicode range including the Basic Multilingual Plane the paper calls
+out, and is *extensional*: two predicates denote the same set iff they
+are equal.
+"""
+
+from repro.alphabet.algebra import BooleanAlgebra
+from repro.errors import AlgebraError
+
+#: Highest codepoint of the Basic Multilingual Plane (Plane 0).
+BMP_MAX = 0xFFFF
+
+#: Highest Unicode codepoint.
+UNICODE_MAX = 0x10FFFF
+
+
+def _as_codepoint(value):
+    """Accept an int codepoint or a 1-character string."""
+    if isinstance(value, str):
+        if len(value) != 1:
+            raise AlgebraError("expected a single character, got %r" % (value,))
+        return ord(value)
+    return int(value)
+
+
+class CharSet:
+    """An immutable set of codepoints stored as canonical ranges.
+
+    ``ranges`` is a tuple of ``(lo, hi)`` pairs, inclusive on both ends,
+    sorted, pairwise disjoint, and with no two ranges adjacent (so the
+    representation of any set is unique).
+    """
+
+    __slots__ = ("ranges", "_hash")
+
+    def __init__(self, ranges):
+        self.ranges = tuple(ranges)
+        self._hash = hash(self.ranges)
+
+    @staticmethod
+    def normalize(pairs):
+        """Build a :class:`CharSet` from arbitrary (lo, hi) pairs."""
+        cleaned = sorted(
+            (lo, hi) for lo, hi in pairs if lo <= hi
+        )
+        merged = []
+        for lo, hi in cleaned:
+            if merged and lo <= merged[-1][1] + 1:
+                if hi > merged[-1][1]:
+                    merged[-1] = (merged[-1][0], hi)
+            else:
+                merged.append((lo, hi))
+        return CharSet(tuple(merged))
+
+    def __eq__(self, other):
+        return isinstance(other, CharSet) and self.ranges == other.ranges
+
+    def __hash__(self):
+        return self._hash
+
+    def __contains__(self, char):
+        code = _as_codepoint(char)
+        lo_idx, hi_idx = 0, len(self.ranges)
+        while lo_idx < hi_idx:
+            mid = (lo_idx + hi_idx) // 2
+            lo, hi = self.ranges[mid]
+            if code < lo:
+                hi_idx = mid
+            elif code > hi:
+                lo_idx = mid + 1
+            else:
+                return True
+        return False
+
+    def __bool__(self):
+        return bool(self.ranges)
+
+    def __len__(self):
+        return sum(hi - lo + 1 for lo, hi in self.ranges)
+
+    def __iter__(self):
+        for lo, hi in self.ranges:
+            for code in range(lo, hi + 1):
+                yield code
+
+    def min(self):
+        if not self.ranges:
+            raise AlgebraError("empty CharSet has no minimum")
+        return self.ranges[0][0]
+
+    def __repr__(self):
+        parts = []
+        for lo, hi in self.ranges[:8]:
+            if lo == hi:
+                parts.append("%#x" % lo)
+            else:
+                parts.append("%#x-%#x" % (lo, hi))
+        if len(self.ranges) > 8:
+            parts.append("...")
+        return "CharSet[%s]" % ", ".join(parts)
+
+
+def _union(a, b):
+    return CharSet.normalize(a.ranges + b.ranges)
+
+
+def _complement(a, max_code):
+    out = []
+    prev = 0
+    for lo, hi in a.ranges:
+        if prev < lo:
+            out.append((prev, lo - 1))
+        prev = hi + 1
+    if prev <= max_code:
+        out.append((prev, max_code))
+    return CharSet(tuple(out))
+
+
+def _intersection(a, b):
+    out = []
+    i = j = 0
+    ra, rb = a.ranges, b.ranges
+    while i < len(ra) and j < len(rb):
+        lo = max(ra[i][0], rb[j][0])
+        hi = min(ra[i][1], rb[j][1])
+        if lo <= hi:
+            out.append((lo, hi))
+        if ra[i][1] < rb[j][1]:
+            i += 1
+        else:
+            j += 1
+    return CharSet(tuple(out))
+
+
+class IntervalAlgebra(BooleanAlgebra):
+    """The default character theory: canonical codepoint interval sets.
+
+    ``max_code`` bounds the domain; the default covers the BMP, use
+    ``IntervalAlgebra(UNICODE_MAX)`` for all of Unicode or a small value
+    (e.g. 127 for ASCII) for compact test domains.
+    """
+
+    def __init__(self, max_code=BMP_MAX):
+        if max_code < 0:
+            raise AlgebraError("domain must be nonempty")
+        self.max_code = max_code
+        self._bot = CharSet(())
+        self._top = CharSet(((0, max_code),))
+
+    @property
+    def bot(self):
+        return self._bot
+
+    @property
+    def top(self):
+        return self._top
+
+    def conj(self, phi, psi):
+        if phi is self._top:
+            return psi
+        if psi is self._top:
+            return phi
+        return _intersection(phi, psi)
+
+    def disj(self, phi, psi):
+        if phi is self._bot:
+            return psi
+        if psi is self._bot:
+            return phi
+        return _union(phi, psi)
+
+    def neg(self, phi):
+        return _complement(phi, self.max_code)
+
+    def is_sat(self, phi):
+        return bool(phi.ranges)
+
+    def is_valid(self, phi):
+        return phi == self._top
+
+    def member(self, char, phi):
+        code = _as_codepoint(char)
+        if code > self.max_code:
+            raise AlgebraError(
+                "codepoint %#x outside domain (max %#x)" % (code, self.max_code)
+            )
+        return code in phi
+
+    def pick(self, phi):
+        """Pick a member, preferring printable ASCII for readable models."""
+        if not phi.ranges:
+            raise AlgebraError("cannot pick from the empty predicate")
+        printable = _intersection(phi, CharSet(((0x20, 0x7E),)))
+        chosen = printable.min() if printable.ranges else phi.min()
+        return chr(chosen)
+
+    def from_char(self, char):
+        code = _as_codepoint(char)
+        if code > self.max_code:
+            raise AlgebraError(
+                "codepoint %#x outside domain (max %#x)" % (code, self.max_code)
+            )
+        return CharSet(((code, code),))
+
+    def from_ranges(self, ranges):
+        pairs = []
+        for lo, hi in ranges:
+            lo, hi = _as_codepoint(lo), _as_codepoint(hi)
+            if hi > self.max_code:
+                hi = self.max_code
+            if lo <= hi:
+                pairs.append((lo, hi))
+        return CharSet.normalize(pairs)
+
+    def from_chars(self, chars):
+        """Predicate for a finite set of characters."""
+        return CharSet.normalize(
+            [(c, c) for c in map(_as_codepoint, chars)]
+        )
+
+    def count(self, phi):
+        return len(phi)
+
+    def equiv(self, phi, psi):
+        return phi == psi
+
+    def __repr__(self):
+        return "IntervalAlgebra(max_code=%#x)" % self.max_code

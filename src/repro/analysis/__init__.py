@@ -1,0 +1,13 @@
+"""Language analysis over derivative DFAs: exact cardinality counting,
+uniform random sampling, finiteness, and length windows."""
+
+from repro.analysis.counting import LanguageCounter
+from repro.analysis.lengths import (
+    LengthAnalysis, NO_MEMBER, UNBOUNDED, structural_max, structural_min,
+)
+
+__all__ = [
+    "LanguageCounter",
+    "LengthAnalysis", "structural_min", "structural_max",
+    "NO_MEMBER", "UNBOUNDED",
+]

@@ -1,0 +1,95 @@
+"""DFA minimization modulo the character theory (Moore refinement).
+
+Used by the eager baseline ("these can be eliminated through
+minimization of automata, but only after the fact" — the paper's point
+is that minimization cannot recoup the cost of having built the states
+in the first place; the benchmarks measure exactly that), and by the
+test suite as an equivalence check between automata.
+
+The refinement signature of a state groups its outgoing guards by
+target block; because our algebras are extensional, two predicate
+unions are equal iff semantically equivalent, so signatures are plain
+hashable values.
+"""
+
+from repro.automata.sfa import SFA
+
+
+def minimize(dfa):
+    """Minimal DFA equivalent to a deterministic, complete input."""
+    if not dfa.deterministic:
+        raise ValueError("minimize expects a deterministic SFA")
+    dfa = dfa.trim()
+    algebra = dfa.algebra
+    # initial partition: finals vs non-finals
+    block_of = {
+        state: (1 if state in dfa.finals else 0)
+        for state in range(dfa.num_states)
+    }
+    while True:
+        signatures = {}
+        for state in range(dfa.num_states):
+            merged = {}
+            for pred, target in dfa.moves(state):
+                block = block_of[target]
+                merged[block] = (
+                    pred if block not in merged
+                    else algebra.disj(merged[block], pred)
+                )
+            signatures[state] = (
+                block_of[state], frozenset(merged.items()),
+            )
+        remap = {}
+        new_block_of = {}
+        for state in range(dfa.num_states):
+            signature = signatures[state]
+            if signature not in remap:
+                remap[signature] = len(remap)
+            new_block_of[state] = remap[signature]
+        if len(remap) == len(set(block_of.values())):
+            break
+        block_of = new_block_of
+    # build quotient automaton
+    num_blocks = len(set(block_of.values()))
+    transitions = {}
+    finals = set()
+    for state in range(dfa.num_states):
+        block = block_of[state]
+        if state in dfa.finals:
+            finals.add(block)
+        if block in transitions:
+            continue
+        merged = {}
+        for pred, target in dfa.moves(state):
+            tb = block_of[target]
+            merged[tb] = (
+                pred if tb not in merged else algebra.disj(merged[tb], pred)
+            )
+        transitions[block] = sorted(
+            ((p, t) for t, p in merged.items()), key=lambda pt: pt[1]
+        )
+    return SFA(
+        algebra, num_blocks, block_of[dfa.initial], finals, transitions,
+        epsilons=None, deterministic=True,
+    )
+
+
+def equivalent(left, right):
+    """Language equivalence of two deterministic complete SFAs, by
+    synchronized product search for a distinguishing state pair."""
+    algebra = left.algebra
+    seen = {(left.initial, right.initial)}
+    stack = [(left.initial, right.initial)]
+    while stack:
+        ls, rs = stack.pop()
+        if (ls in left.finals) != (rs in right.finals):
+            return False
+        for lp, lt in left.moves(ls):
+            for rp, rt in right.moves(rs):
+                if not algebra.is_sat(algebra.conj(lp, rp)):
+                    continue
+                pair = (lt, rt)
+                if pair not in seen:
+                    seen.add(pair)
+                    stack.append(pair)
+    return True

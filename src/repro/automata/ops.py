@@ -1,0 +1,198 @@
+"""Automaton-level operations: the eager Boolean pipeline.
+
+These implement "approach 1" from the paper's introduction: propagate
+logical connectives into automata operations — product for ``&``,
+determinize-and-flip for ``~``.  Every operation here materializes its
+full state space up front (guarded by a :class:`~repro.automata.sfa.
+StateBudget`), which is exactly the blowup the symbolic-derivative
+approach sidesteps.
+"""
+
+from repro.alphabet.minterms import minterms
+from repro.automata.sfa import SFA, StateBudget
+
+
+def remove_epsilons(sfa):
+    """Equivalent epsilon-free SFA."""
+    if not sfa.has_epsilons:
+        return sfa
+    transitions = {}
+    finals = set()
+    for state in range(sfa.num_states):
+        closure = sfa.epsilon_closure({state})
+        if closure & sfa.finals:
+            finals.add(state)
+        moves = []
+        for reached in closure:
+            moves.extend(sfa.moves(reached))
+        if moves:
+            transitions[state] = moves
+    return SFA(
+        sfa.algebra, sfa.num_states, sfa.initial, finals, transitions,
+        epsilons=None, deterministic=False,
+    ).trim()
+
+
+def determinize(sfa, budget=None):
+    """Subset construction with *local* mintermization.
+
+    Per explored subset, the outgoing guards are refined into minterms,
+    so the result is deterministic and complete (a sink subset absorbs
+    the rest of the character space).  Worst case ``2**n`` subsets —
+    the classical cost of complement that Figure 4's blowup benchmarks
+    showcase.
+    """
+    budget = budget or StateBudget()
+    sfa = remove_epsilons(sfa)
+    algebra = sfa.algebra
+    start = frozenset({sfa.initial})
+    index = {start: 0}
+    budget.charge()
+    transitions = {}
+    finals = set()
+    worklist = [start]
+    while worklist:
+        subset = worklist.pop()
+        state_id = index[subset]
+        if subset & sfa.finals:
+            finals.add(state_id)
+        guards = []
+        for state in subset:
+            guards.extend(pred for pred, _ in sfa.moves(state))
+        moves = []
+        for part in minterms(algebra, guards):
+            targets = frozenset(
+                t
+                for state in subset
+                for pred, t in sfa.moves(state)
+                if algebra.is_sat(algebra.conj(part, pred))
+            )
+            if targets not in index:
+                budget.charge()
+                index[targets] = len(index)
+                worklist.append(targets)
+            moves.append((part, index[targets]))
+        transitions[state_id] = moves
+    return SFA(
+        algebra, len(index), 0, finals, transitions,
+        epsilons=None, deterministic=True,
+    )
+
+
+def complement(sfa, budget=None):
+    """``~A``: determinize (total by construction), then flip finals."""
+    dfa = sfa if sfa.deterministic else determinize(sfa, budget)
+    finals = set(range(dfa.num_states)) - set(dfa.finals)
+    return SFA(
+        dfa.algebra, dfa.num_states, dfa.initial, finals, dfa.transitions,
+        epsilons=None, deterministic=True,
+    )
+
+
+def product(left, right, budget=None, mode="inter"):
+    """Product construction: ``&`` (both accept) or ``|`` (either).
+
+    For union the inputs must be complete (deterministic), otherwise a
+    missing move on one side would wrongly kill the other's run; the
+    caller determinizes first.  For intersection any epsilon-free
+    automata work.
+    """
+    budget = budget or StateBudget()
+    left = remove_epsilons(left)
+    right = remove_epsilons(right)
+    algebra = left.algebra
+    start = (left.initial, right.initial)
+    index = {start: 0}
+    budget.charge()
+    transitions = {}
+    finals = set()
+    worklist = [start]
+    while worklist:
+        pair = worklist.pop()
+        state_id = index[pair]
+        ls, rs = pair
+        l_final = ls in left.finals
+        r_final = rs in right.finals
+        if (l_final and r_final) if mode == "inter" else (l_final or r_final):
+            finals.add(state_id)
+        moves = []
+        for lp, lt in left.moves(ls):
+            for rp, rt in right.moves(rs):
+                guard = algebra.conj(lp, rp)
+                if not algebra.is_sat(guard):
+                    continue
+                target = (lt, rt)
+                if target not in index:
+                    budget.charge()
+                    index[target] = len(index)
+                    worklist.append(target)
+                moves.append((guard, index[target]))
+        transitions[state_id] = moves
+    deterministic = left.deterministic and right.deterministic
+    return SFA(
+        algebra, len(index), 0, finals, transitions,
+        epsilons=None, deterministic=deterministic,
+    )
+
+
+def nfa_union(left, right, budget=None):
+    """Disjoint union with a fresh initial state (cheap NFA ``|``)."""
+    budget = budget or StateBudget()
+    budget.charge(left.num_states + right.num_states + 1)
+    offset_l, offset_r = 1, 1 + left.num_states
+    transitions = {}
+    epsilons = {0: {left.initial + offset_l, right.initial + offset_r}}
+    for sfa, offset in ((left, offset_l), (right, offset_r)):
+        for state in range(sfa.num_states):
+            moves = [(p, t + offset) for p, t in sfa.moves(state)]
+            if moves:
+                transitions[state + offset] = moves
+            eps = {t + offset for t in sfa.epsilons.get(state, ())}
+            if eps:
+                epsilons[state + offset] = eps
+    finals = {s + offset_l for s in left.finals} | {s + offset_r for s in right.finals}
+    total = left.num_states + right.num_states + 1
+    return SFA(left.algebra, total, 0, finals, transitions, epsilons, False)
+
+
+def nfa_concat(left, right, budget=None):
+    """Automaton-level concatenation via epsilon links."""
+    budget = budget or StateBudget()
+    budget.charge(left.num_states + right.num_states)
+    offset_r = left.num_states
+    transitions = {}
+    epsilons = {}
+    for state in range(left.num_states):
+        moves = left.moves(state)
+        if moves:
+            transitions[state] = list(moves)
+        eps = set(left.epsilons.get(state, ()))
+        if state in left.finals:
+            eps.add(right.initial + offset_r)
+        if eps:
+            epsilons[state] = eps
+    for state in range(right.num_states):
+        moves = [(p, t + offset_r) for p, t in right.moves(state)]
+        if moves:
+            transitions[state + offset_r] = moves
+        eps = {t + offset_r for t in right.epsilons.get(state, ())}
+        if eps:
+            epsilons[state + offset_r] = eps
+    finals = {s + offset_r for s in right.finals}
+    total = left.num_states + right.num_states
+    return SFA(left.algebra, total, left.initial, finals, transitions, epsilons, False)
+
+
+def nfa_star(sfa, budget=None):
+    """Automaton-level Kleene star via a fresh hub state."""
+    budget = budget or StateBudget()
+    budget.charge(sfa.num_states + 1)
+    hub = sfa.num_states
+    transitions = {s: list(sfa.moves(s)) for s in range(sfa.num_states) if sfa.moves(s)}
+    epsilons = {s: set(t) for s, t in sfa.epsilons.items()}
+    epsilons.setdefault(hub, set()).add(sfa.initial)
+    for final in sfa.finals:
+        epsilons.setdefault(final, set()).add(hub)
+    return SFA(
+        sfa.algebra, sfa.num_states + 1, hub, {hub}, transitions, epsilons, False,
+    )

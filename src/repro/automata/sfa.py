@@ -1,0 +1,168 @@
+"""Symbolic finite automata (SFAs): automata modulo a character theory.
+
+Transitions carry predicates of the character algebra instead of
+letters [D'Antoni & Veanes, "Automata Modulo Theories"].  This is the
+substrate for the paper's "approach 1" baseline: convert regexes to
+automata eagerly, then apply Boolean operations (product, complement)
+at the automaton level.
+
+States are dense integers.  Epsilon moves are allowed (Thompson
+construction produces them); most operations require them eliminated
+first.
+"""
+
+from collections import deque
+
+from repro.errors import AlgebraError, BudgetExceeded
+
+
+class SFA:
+    """A symbolic finite automaton.
+
+    ``transitions`` maps each state to a list of ``(pred, target)``
+    pairs; ``epsilons`` maps each state to a set of targets reachable
+    without consuming input.
+    """
+
+    def __init__(self, algebra, num_states, initial, finals,
+                 transitions, epsilons=None, deterministic=False):
+        self.algebra = algebra
+        self.num_states = num_states
+        self.initial = initial
+        self.finals = frozenset(finals)
+        self.transitions = transitions
+        self.epsilons = epsilons or {}
+        self.deterministic = deterministic
+
+    def moves(self, state):
+        return self.transitions.get(state, [])
+
+    @property
+    def has_epsilons(self):
+        return any(self.epsilons.values())
+
+    def epsilon_closure(self, states):
+        """All states reachable from ``states`` via epsilon moves."""
+        closure = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for target in self.epsilons.get(state, ()):
+                if target not in closure:
+                    closure.add(target)
+                    stack.append(target)
+        return frozenset(closure)
+
+    def accepts(self, string):
+        """Membership by direct NFA simulation."""
+        current = self.epsilon_closure({self.initial})
+        for char in string:
+            nxt = set()
+            for state in current:
+                for pred, target in self.moves(state):
+                    if self.algebra.member(char, pred):
+                        nxt.add(target)
+            if not nxt:
+                return False
+            current = self.epsilon_closure(nxt)
+        return bool(current & self.finals)
+
+    def is_empty(self):
+        """Emptiness check; returns ``(empty, witness_or_None)``."""
+        algebra = self.algebra
+        start = self.epsilon_closure({self.initial})
+        if start & self.finals:
+            return False, ""
+        parent = {s: None for s in start}
+        queue = deque(start)
+        while queue:
+            state = queue.popleft()
+            for pred, target in self.moves(state):
+                if not algebra.is_sat(pred):
+                    continue
+                for reached in self.epsilon_closure({target}):
+                    if reached not in parent:
+                        parent[reached] = (state, algebra.pick(pred))
+                        if reached in self.finals:
+                            return False, _reconstruct(parent, reached)
+                        queue.append(reached)
+        return True, None
+
+    def reachable_states(self):
+        """States reachable from the initial state."""
+        seen = {self.initial}
+        stack = [self.initial]
+        while stack:
+            state = stack.pop()
+            nexts = [t for _, t in self.moves(state)]
+            nexts.extend(self.epsilons.get(state, ()))
+            for target in nexts:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return seen
+
+    def trim(self):
+        """Restrict to reachable states, renumbering densely."""
+        keep = sorted(self.reachable_states())
+        remap = {old: new for new, old in enumerate(keep)}
+        transitions = {
+            remap[s]: [(p, remap[t]) for p, t in self.moves(s) if t in remap]
+            for s in keep
+        }
+        epsilons = {
+            remap[s]: {remap[t] for t in self.epsilons.get(s, ()) if t in remap}
+            for s in keep
+        }
+        return SFA(
+            self.algebra, len(keep), remap[self.initial],
+            {remap[s] for s in self.finals if s in remap},
+            transitions, epsilons, self.deterministic,
+        )
+
+    def transition_count(self):
+        return sum(len(moves) for moves in self.transitions.values())
+
+    def check_deterministic(self):
+        """Verify the determinism invariant: per-state guards are
+        pairwise disjoint (used in tests)."""
+        algebra = self.algebra
+        if self.has_epsilons:
+            return False
+        for state in range(self.num_states):
+            moves = self.moves(state)
+            for i, (p, _) in enumerate(moves):
+                for q, _ in moves[i + 1:]:
+                    if algebra.is_sat(algebra.conj(p, q)):
+                        return False
+        return True
+
+    def __repr__(self):
+        return "SFA(states=%d, transitions=%d, det=%s)" % (
+            self.num_states, self.transition_count(), self.deterministic,
+        )
+
+
+def _reconstruct(parent, state):
+    chars = []
+    node = state
+    while parent[node] is not None:
+        node, char = parent[node]
+        chars.append(char)
+    return "".join(reversed(chars))
+
+
+class StateBudget:
+    """Caps eager constructions; exceeding it is the state-space
+    blowup the paper's lazy approach avoids."""
+
+    def __init__(self, max_states=None):
+        self.max_states = max_states
+        self.created = 0
+
+    def charge(self, amount=1):
+        self.created += amount
+        if self.max_states is not None and self.created > self.max_states:
+            raise BudgetExceeded(
+                "automaton state budget exceeded (%d states)" % self.created
+            )

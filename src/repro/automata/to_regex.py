@@ -1,0 +1,64 @@
+"""Automaton-to-regex conversion by state elimination
+(Brzozowski–McCluskey).
+
+Completes the classical round trip regex → automaton → regex: edges are
+relabelled with regexes, states are eliminated one at a time with the
+rule ``in . loop* . out``, and the final two-state system reads off the
+language.  Predicate edges become predicate regexes, so the conversion
+is fully symbolic.
+
+Used by tests as yet another independent semantics cross-check, and by
+the examples to show round trips through the automata substrate.
+"""
+
+from repro.automata.ops import remove_epsilons
+
+
+def to_regex(sfa, builder):
+    """A regex for ``L(sfa)`` over the given builder's algebra."""
+    sfa = remove_epsilons(sfa.trim())
+    # generalized-NFA edge labels: (source, target) -> regex
+    edges = {}
+
+    def add_edge(source, target, regex):
+        key = (source, target)
+        existing = edges.get(key)
+        edges[key] = (
+            regex if existing is None else builder.union([existing, regex])
+        )
+
+    for state in range(sfa.num_states):
+        for pred, target in sfa.moves(state):
+            add_edge(state, target, builder.pred(pred))
+
+    # fresh initial and final states with epsilon edges
+    initial = sfa.num_states
+    final = sfa.num_states + 1
+    add_edge(initial, sfa.initial, builder.epsilon)
+    for accepting in sfa.finals:
+        add_edge(accepting, final, builder.epsilon)
+
+    # eliminate original states one by one
+    for victim in range(sfa.num_states):
+        loop = edges.pop((victim, victim), None)
+        loop_star = builder.star(loop) if loop is not None else builder.epsilon
+        incoming = [
+            (source, regex) for (source, target), regex in edges.items()
+            if target == victim and source != victim
+        ]
+        outgoing = [
+            (target, regex) for (source, target), regex in edges.items()
+            if source == victim and target != victim
+        ]
+        for source, in_regex in incoming:
+            del edges[(source, victim)]
+        for target, out_regex in outgoing:
+            del edges[(victim, target)]
+        for source, in_regex in incoming:
+            for target, out_regex in outgoing:
+                add_edge(
+                    source, target,
+                    builder.concat([in_regex, loop_star, out_regex]),
+                )
+
+    return edges.get((initial, final), builder.empty)

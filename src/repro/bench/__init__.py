@@ -1,0 +1,15 @@
+"""Benchmark harness, suite registry, engines and reporting for the
+Figure 4 evaluation."""
+
+from repro.bench.harness import (
+    Engine, Problem, Record, cumulative, run_matrix, run_problem, summarize,
+)
+from repro.bench.engines import default_engines, reference_engine
+from repro.bench import generators, reporting, suites
+
+__all__ = [
+    "Problem", "Engine", "Record",
+    "run_problem", "run_matrix", "summarize", "cumulative",
+    "default_engines", "reference_engine",
+    "suites", "reporting", "generators",
+]

@@ -1,0 +1,43 @@
+"""Exporting benchmark suites as SMT-LIB ``.smt2`` files.
+
+This materializes the synthetic suites in the exchange format the
+original benchmarks use, so they can be inspected, versioned, or fed
+to other solvers.  Round-trip fidelity (export -> parse -> same
+verdict) is covered by the test suite.
+"""
+
+import os
+
+from repro.smtlib.writer import script_text
+
+
+def export_problem(problem, algebra=None):
+    """Render one problem as a complete ``.smt2`` script."""
+    return script_text(
+        problem.formula, algebra=algebra, status=problem.expected,
+        logic="QF_S",
+    )
+
+
+def export_suite(problems, directory, algebra=None):
+    """Write one file per problem under ``directory/<suite>/``.
+
+    Returns the list of written paths.
+    """
+    paths = []
+    for problem in problems:
+        suite_dir = os.path.join(directory, problem.suite)
+        os.makedirs(suite_dir, exist_ok=True)
+        path = os.path.join(suite_dir, problem.name + ".smt2")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(export_problem(problem, algebra))
+        paths.append(path)
+    return paths
+
+
+def export_all(builder, directory):
+    """Export every suite of the evaluation (Figure 4c)."""
+    from repro.bench.suites import all_suites, label_problems
+
+    problems = label_problems(builder, all_suites(builder))
+    return export_suite(problems, directory, algebra=builder.algebra)

@@ -1,0 +1,12 @@
+"""Deterministic benchmark generators, one module per suite of
+Figure 4(c)."""
+
+from repro.bench.generators import (
+    blowup, boolean_loops, dates, kaluza, norn, passwords, patterns,
+    regexlib, slog, sygus,
+)
+
+__all__ = [
+    "kaluza", "slog", "norn", "sygus", "regexlib",
+    "dates", "passwords", "boolean_loops", "blowup", "patterns",
+]

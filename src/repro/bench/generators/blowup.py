@@ -1,0 +1,40 @@
+"""Handwritten Determinization-Blowup benchmarks (14 problems).
+
+Variants of ``(.*a.{k})&(.*b.{k})``: tiny nondeterministic state
+spaces whose determinization needs ``2^k`` states.  Lazy derivative
+exploration stays linear in ``k``; any pipeline that determinizes
+(subset construction, classical complement) walks off the cliff.
+"""
+
+from repro.regex.parser import parse
+from repro.solver import formula as F
+from repro.bench.harness import Problem
+
+
+def generate(builder):
+    """The 14 blowup problems (deterministic)."""
+    b = builder
+    p = lambda pat: parse(b, pat)
+    inre = lambda r: F.InRe("s", r)
+    problems = []
+
+    def add(name, pattern, expected):
+        problems.append(Problem(name, "blowup", "H", inre(p(pattern)), expected))
+
+    # 1-5: the classic family; the (k+1)-th-from-last character cannot
+    # be both 'a' and 'b'
+    for k in (5, 10, 20, 40, 80):
+        add("ab_clash_k%d" % k, r"(.*a.{%d})&(.*b.{%d})" % (k, k), "unsat")
+    # 6-8: same family, compatible positions (satisfiable)
+    for k in (10, 20, 40):
+        add("ab_offset_k%d" % k, r"(.*a.{%d})&(.*b.{%d})" % (k, k + 1), "sat")
+    # 9-11: complement forces real determinization in automata solvers
+    for k in (5, 10, 15):
+        add("compl_k%d" % k, r"~(.*a.{%d})&(a|b){%d}&.*a.*" % (k, k), "sat")
+    # 12: complement of the clash is everything: its complement is empty
+    add("compl_of_clash", r"~((.*a.{12})&(.*b.{12}))&~(.*)", "unsat")
+    # 13: membership equivalent under complement: x in r and x not in r
+    add("self_clash", r"(.*a.{16})&~(.*a.{16})", "unsat")
+    # 14: two-sided: last-but-k is 'a' and first-plus-k is 'b'
+    add("both_ends", r"(.*a.{30})&(.{30}b.*)", "sat")
+    return problems

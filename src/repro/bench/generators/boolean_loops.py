@@ -1,0 +1,52 @@
+"""Handwritten Boolean+Loops benchmarks (21 problems).
+
+Boolean operations interacting with concatenation and iteration, most
+of them unsatisfiable *by construction* — these stress the dead-state
+elimination of Section 5 (a solver without it keeps unfolding forever
+or until the budget dies).
+"""
+
+from repro.regex.parser import parse
+from repro.solver import formula as F
+from repro.bench.harness import Problem
+
+
+def generate(builder):
+    """The 21 Boolean+Loops problems (deterministic)."""
+    b = builder
+    p = lambda pat: parse(b, pat)
+    inre = lambda r: F.InRe("s", r)
+    problems = []
+
+    def add(name, pattern, expected):
+        problems.append(Problem(name, "boolean_loops", "H", inre(p(pattern)), expected))
+
+    # period arithmetic: (a^2)* ∩ (a^3)* = (a^6)*
+    add("periods_2_3", r"(aa)*&(aaa)*&~((aaaaaa)*)", "unsat")
+    add("periods_2_3_sat", r"(aa)*&(aaa)*&~(())", "sat")
+    add("periods_3_5", r"(aaa)*&(aaaaa)*&aa.*&.{0,14}", "unsat")
+    # loop-bound squeezes
+    add("bound_squeeze", r"a{10,20}&~(a{5,25})", "unsat")
+    add("bound_gap", r"a{2,4}&a{6,8}", "unsat")
+    add("bound_touch", r"a{2,4}&a{4,8}", "sat")
+    add("bound_complement_fit", r"a{3,9}&~(a{3,8})", "sat")
+    add("bound_complement_empty", r"a{3,9}&~(a{2,10})", "unsat")
+    # concatenation vs complement
+    add("concat_compl_id", r"ab.*&~(ab.*)", "unsat")
+    add("concat_compl_shift", r"a.{3}&~(.{3}a)&.{4}", "sat")
+    add("prefix_suffix_clash", r"ab.*&.*ba&.{3}&~(aba|bab)", "unsat")
+    # forbidden-factor reasoning
+    add("factor_chain", r".*ab.*&~(.*b.*)", "unsat")
+    add("factor_order", r"~(.*ab.*)&.*a.*&.*b.*", "sat")
+    add("factor_order_forced", r"(a|b)*&~(.*ab.*)&~(.*ba.*)&.*a.*&.*b.*", "unsat")
+    # star of union vs interleavings
+    add("shuffle_miss", r"(ab|ba)*&a*b*&.{2,}", "sat")
+    add("shuffle_empty", r"(ab|ba)*&a+b*&~(ab.*)&~(ba.*)", "unsat")
+    # parity via loops
+    add("parity_conflict", r"(..)*&(...)*&.{1,5}", "unsat")
+    add("parity_six", r"(..)*&(...)*&.{1,6}", "sat")
+    # nested complement with loops
+    add("nested_compl_loop", r"~(~(a{4,6}))&a{7,9}", "unsat")
+    add("compl_star_floor", r"~((a{3})*)&a{9}", "unsat")
+    add("compl_star_gap", r"~((a{3})*)&a{10}", "sat")
+    return problems

@@ -1,0 +1,100 @@
+"""Handwritten Date benchmarks (20 problems), Figure 1 style.
+
+A string is constrained to look like a date (``\\d{4}-[a-zA-Z]{3}-\\d{2}``)
+and further constrained by Boolean combinations: year prefixes, month
+exclusions ("if the month is Feb, the day must not be 30 or 31"),
+implications between policies.  Satisfiable and (deliberately)
+contradictory variants both appear, including the paper's own
+``.*2019`` misplacement bug.
+"""
+
+from repro.regex.parser import parse
+from repro.solver import formula as F
+from repro.bench.harness import Problem
+
+DATE_FMT = r"\d{4}-[a-zA-Z]{3}-\d{2}"
+
+
+def generate(builder):
+    """The 20 date problems (deterministic)."""
+    b = builder
+    p = lambda pat: parse(b, pat)
+    fmt = p(DATE_FMT)
+    problems = []
+
+    def add(name, formula, expected):
+        problems.append(Problem(name, "date", "H", formula, expected))
+
+    year = lambda y: p(r"%d.*" % y)
+    inre = lambda r: F.InRe("date", r)
+
+    # 1-2: the Figure 1 policy, correct and with the misplaced .*year bug
+    add("fig1_policy_sat",
+        F.And((inre(fmt), F.Or((inre(year(2019)), inre(year(2020)))))), "sat")
+    add("fig1_policy_bug",
+        F.And((inre(fmt), F.Or((inre(p(r".*2019")), inre(p(r".*2020")))))), "unsat")
+    # 3: three-way year disjunction
+    add("three_years",
+        F.And((inre(fmt), F.Or((inre(year(2019)), inre(year(2020)),
+                                inre(year(2021)))))), "sat")
+    # 4: contradictory year constraints
+    add("year_conflict",
+        F.And((inre(fmt), inre(year(2019)), inre(year(2020)))), "unsat")
+    # 5: February day restriction is satisfiable
+    feb = p(r"\d{4}-Feb-\d{2}")
+    day3x = p(r"\d{4}-[a-zA-Z]{3}-3\d")
+    add("feb_day_ok",
+        F.And((inre(fmt), inre(feb), F.Not(inre(day3x)))), "sat")
+    # 6: February 30/31 is excluded: Feb AND day in {30,31} AND policy
+    add("feb_day_conflict",
+        F.And((inre(feb), inre(p(r"\d{4}-[a-zA-Z]{3}-(30|31)")),
+               F.Not(inre(day3x)))), "unsat")
+    # 7: implication between formats: named date implies 3-letter month
+    add("format_implies_month_len",
+        F.And((inre(fmt), F.Not(inre(p(r".{4}-.{3}-.{2}"))))), "unsat")
+    # 8: a date is never an ISO date (month is alphabetic)
+    add("named_vs_iso_disjoint",
+        F.And((inre(fmt), inre(p(r"\d{4}-\d{2}-\d{2}")))), "unsat")
+    # 9: month from a fixed menu
+    months = p(r"\d{4}-(Jan|Feb|Mar|Apr|May|Jun|Jul|Aug|Sep|Oct|Nov|Dec)-\d{2}")
+    add("month_menu", F.And((inre(fmt), inre(months))), "sat")
+    # 10: month menu with complement of all summer months
+    add("no_summer",
+        F.And((inre(months), F.Not(inre(p(r".*-(Jun|Jul|Aug)-.*"))))), "sat")
+    # 11: all months excluded -> unsat
+    add("all_months_excluded",
+        F.And((inre(months),
+               F.Not(inre(p(r".*-(Jan|Feb|Mar|Apr|May|Jun|Jul|Aug|Sep|Oct|Nov|Dec)-.*"))))),
+        "unsat")
+    # 12: leading-zero day plus nonzero-day constraint
+    add("day_window",
+        F.And((inre(fmt), inre(p(r".*-(0[1-9]|[12]\d|3[01])")))), "sat")
+    # 13: day 00 forbidden and required
+    add("day_zero_conflict",
+        F.And((inre(fmt), inre(p(r".*-00")), F.Not(inre(p(r".*-00"))))), "unsat")
+    # 14: length constraint consistent with the format
+    add("length_consistent",
+        F.And((inre(fmt), F.LenCmp("date", "=", 11))), "sat")
+    # 15: length constraint inconsistent with the format
+    add("length_conflict",
+        F.And((inre(fmt), F.LenCmp("date", "=", 10))), "unsat")
+    # 16: decade wildcard: 20XX but not 2020..2029 except 2025
+    add("decade_carveout",
+        F.And((inre(fmt), inre(p(r"20\d\d.*")),
+               F.Or((F.Not(inre(p(r"202\d.*"))), inre(p(r"2025.*")))))), "sat")
+    # 17: containment query: policy A implies policy B (as unsat of A & ~B)
+    add("policy_implication",
+        F.And((inre(p(r"2020-[a-zA-Z]{3}-\d{2}")), F.Not(inre(fmt)))), "unsat")
+    # 18: non-implication has a witness
+    add("policy_non_implication",
+        F.And((inre(fmt), F.Not(inre(p(r"2020-[a-zA-Z]{3}-\d{2}"))))), "sat")
+    # 19: two variables: a range check plus equality of formats
+    add("two_dates",
+        F.And((inre(fmt), F.InRe("other", months),
+               F.InRe("other", p(r"2019.*")))), "sat")
+    # 20: deeply nested disjunction of year windows, all conflicting
+    add("nested_conflict",
+        F.And((inre(p(r"19\d\d-[a-zA-Z]{3}-\d{2}")),
+               F.Or((inre(year(2019)), inre(year(2020)), inre(year(2021)))))),
+        "unsat")
+    return problems

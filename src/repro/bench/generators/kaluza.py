@@ -1,0 +1,79 @@
+"""Kaluza-like suite: the paper's largest, easiest benchmark family.
+
+Kaluza benchmarks come from JavaScript symbolic execution and are
+"dominated by constraints that can be simplified to word equations".
+We mirror that profile: equalities with literals, prefix/suffix/
+contains constraints, light regex membership, small length bounds —
+mostly single-constraint-per-variable (non-Boolean), with labels
+known by construction.
+"""
+
+import random
+
+from repro.regex.parser import parse
+from repro.solver import formula as F
+from repro.bench.harness import Problem
+
+_WORDS = ["foo", "bar", "baz", "qux", "hello", "world", "ab", "xyz", "data"]
+_REGEXES = [r"[a-z]+", r"[a-z0-9]*", r"(foo|bar)+", r"[a-z]{1,8}",
+            r"f.*", r".*o", r"[a-z]*o[a-z]*", r"(ab|ba)*"]
+
+
+def generate(builder, count=270, seed=1001):
+    rng = random.Random(seed)
+    problems = []
+    for i in range(count):
+        kind = rng.randrange(6)
+        name = "kaluza_%04d" % i
+        if kind == 0:
+            # equality consistent with a membership constraint
+            word = rng.choice(_WORDS)
+            formula = F.And((
+                F.EqConst("x", word),
+                F.InRe("y", parse(builder, rng.choice(_REGEXES))),
+            ))
+            expected = "sat"
+        elif kind == 1:
+            # equality inconsistent with a length bound
+            word = rng.choice(_WORDS)
+            formula = F.And((
+                F.EqConst("x", word),
+                F.LenCmp("x", "=", len(word) + rng.randrange(1, 4)),
+            ))
+            expected = "unsat"
+        elif kind == 2:
+            # prefix + suffix that can coexist
+            pre = rng.choice(_WORDS)
+            suf = rng.choice(_WORDS)
+            formula = F.And((
+                F.PrefixOf(pre, "x"),
+                F.SuffixOf(suf, "x"),
+                F.LenCmp("x", ">=", len(pre) + len(suf)),
+            ))
+            expected = "sat"
+        elif kind == 3:
+            # contains a word but the alphabet forbids one of its letters
+            word = rng.choice(_WORDS)
+            formula = F.And((
+                F.Contains("x", word),
+                F.InRe("x", parse(builder, r"[0-9]*")),
+            ))
+            expected = "unsat"
+        elif kind == 4:
+            # single simple membership with a consistent length
+            pattern = rng.choice(_REGEXES)
+            formula = F.And((
+                F.InRe("x", parse(builder, pattern)),
+                F.LenCmp("x", "<=", rng.randrange(4, 12)),
+            ))
+            expected = "sat"
+        else:
+            # two independent variables, both easy
+            formula = F.And((
+                F.EqConst("x", rng.choice(_WORDS)),
+                F.InRe("y", parse(builder, rng.choice(_REGEXES))),
+                F.LenCmp("y", "<=", 6),
+            ))
+            expected = "sat"
+        problems.append(Problem(name, "kaluza", "NB", formula, expected))
+    return problems

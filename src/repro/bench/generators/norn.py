@@ -1,0 +1,108 @@
+"""Norn-like suite: star-heavy regular membership plus length
+arithmetic, in both non-Boolean and Boolean flavours.
+
+The original Norn benchmarks (from the Norn solver's verification
+workloads) combine memberships in starred expressions with length
+constraints; a subset has several memberships on the same variable,
+which the paper counts into the Boolean group.
+"""
+
+import random
+
+from repro.regex.parser import parse
+from repro.solver import formula as F
+from repro.bench.harness import Problem
+
+_STARRY = [r"(ab)*", r"(a|b)*", r"a*b*", r"(ab|ba)*", r"(aab)*",
+           r"(aba)*", r"(a|bb)*", r"(abc)*"]
+
+
+def generate_nb(builder, count=80, seed=3003):
+    """Non-Boolean Norn-like problems (single membership + lengths)."""
+    rng = random.Random(seed)
+    problems = []
+    for i in range(count):
+        pattern = rng.choice(_STARRY)
+        period = _period(pattern)
+        name = "norn_nb_%03d" % i
+        kind = rng.randrange(3)
+        if kind == 0:
+            # length compatible with the period
+            k = rng.randrange(1, 5)
+            formula = F.And((
+                F.InRe("w", parse(builder, pattern)),
+                F.LenCmp("w", "=", period * k),
+            ))
+            expected = "sat"
+        elif kind == 1 and period > 1:
+            # length provably incompatible
+            k = rng.randrange(1, 5)
+            formula = F.And((
+                F.InRe("w", parse(builder, _pure_periodic(pattern))),
+                F.LenCmp("w", "=", period * k + 1),
+            ))
+            expected = "unsat"
+        else:
+            # window constraint
+            lo = rng.randrange(0, 6)
+            formula = F.And((
+                F.InRe("w", parse(builder, pattern)),
+                F.LenCmp("w", ">=", lo),
+                F.LenCmp("w", "<=", lo + 6),
+            ))
+            expected = "sat"
+        problems.append(Problem(name, "norn", "NB", formula, expected))
+    return problems
+
+
+def generate_b(builder, count=30, seed=3030):
+    """Boolean Norn-like problems (several memberships on one var)."""
+    rng = random.Random(seed)
+    problems = []
+    for i in range(count):
+        name = "norn_b_%03d" % i
+        kind = rng.randrange(3)
+        if kind == 0:
+            # intersection of two starred languages, nonempty (eps)
+            r1, r2 = rng.sample(_STARRY, 2)
+            formula = F.And((
+                F.InRe("w", parse(builder, r1)),
+                F.InRe("w", parse(builder, r2)),
+            ))
+            expected = "sat"
+        elif kind == 1:
+            # membership minus itself
+            r1 = rng.choice(_STARRY)
+            formula = F.And((
+                F.InRe("w", parse(builder, r1)),
+                F.Not(F.InRe("w", parse(builder, r1))),
+            ))
+            expected = "unsat"
+        else:
+            # strict periodic vs shifted periodic, nonempty length
+            k = rng.randrange(2, 5)
+            formula = F.And((
+                F.InRe("w", parse(builder, r"(a{%d})*" % k)),
+                F.Not(F.InRe("w", parse(builder, r"(a{%d})*" % (k + 1)))),
+                F.LenCmp("w", ">", 0),
+            ))
+            expected = "sat"
+        problems.append(Problem(name, "norn", "B", formula, expected))
+    return problems
+
+
+def _period(pattern):
+    """Length of the repeated unit of one of our starred templates."""
+    return {
+        r"(ab)*": 2, r"(a|b)*": 1, r"a*b*": 1, r"(ab|ba)*": 2,
+        r"(aab)*": 3, r"(aba)*": 3, r"(a|bb)*": 1, r"(abc)*": 3,
+    }[pattern]
+
+
+def _pure_periodic(pattern):
+    """A template from the family whose lengths are exact multiples."""
+    return {
+        r"(ab)*": r"(ab)*", r"(ab|ba)*": r"(ab|ba)*",
+        r"(aab)*": r"(aab)*", r"(abc)*": r"(abc)*",
+        r"(aba)*": r"(aba)*",
+    }.get(pattern, r"(ab)*")

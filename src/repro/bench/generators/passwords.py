@@ -1,0 +1,133 @@
+"""Handwritten Password benchmarks (34 problems), Section 2 style.
+
+Password validation rules are naturally conjunctions of positive and
+negative regex constraints on one string — "contains a digit", "no
+``01`` substring", length windows, forbidden substrings — frequently
+combined with bounded loops like ``.{8,128}`` that blow up eager
+automata constructions.
+"""
+
+from repro.regex.parser import parse
+from repro.solver import formula as F
+from repro.bench.harness import Problem
+
+
+def generate(builder):
+    """The 34 password problems (deterministic)."""
+    b = builder
+    p = lambda pat: parse(b, pat)
+    inre = lambda r: F.InRe("pwd", r)
+    problems = []
+
+    def add(name, formula, expected):
+        problems.append(Problem(name, "password", "H", formula, expected))
+
+    has_digit = p(r".*\d.*")
+    has_lower = p(r".*[a-z].*")
+    has_upper = p(r".*[A-Z].*")
+    has_special = p(r".*[!@#$%&*].*")
+    no_01 = F.Not(inre(p(r".*01.*")))
+
+    # 1: the running example of Section 2
+    add("sec2_running", F.And((inre(has_digit), no_01)), "sat")
+    # 2: running example plus length window
+    add("sec2_with_len",
+        F.And((inre(has_digit), no_01, inre(p(r".{8,128}")))), "sat")
+    # 3: all four character classes
+    add("four_classes",
+        F.And((inre(has_digit), inre(has_lower), inre(has_upper),
+               inre(has_special))), "sat")
+    # 4: four classes within 8..20 chars
+    add("four_classes_len",
+        F.And((inre(has_digit), inre(has_lower), inre(has_upper),
+               inre(has_special), inre(p(r".{8,20}")))), "sat")
+    # 5: classes required but all alphanumerics forbidden
+    add("classes_vs_charset",
+        F.And((inre(has_digit), inre(p(r"[a-zA-Z]*")))), "unsat")
+    # 6: digit required, digits forbidden
+    add("digit_conflict",
+        F.And((inre(has_digit), F.Not(inre(has_digit)))), "unsat")
+    # 7-10: forbidden substring ladders
+    for i, word in enumerate(("password", "1234", "admin", "qwerty")):
+        add("forbid_%s" % word,
+            F.And((inre(has_digit), inre(has_lower), inre(p(r".{8,64}")),
+                   F.Not(inre(p(r".*%s.*" % word))))), "sat")
+    # 11: must contain and must not contain the same word
+    add("contain_conflict",
+        F.And((inre(p(r".*abc.*")), F.Not(inre(p(r".*abc.*"))))), "unsat")
+    # 12: must contain 'abc' but avoid 'b'
+    add("substring_overlap_conflict",
+        F.And((inre(p(r".*abc.*")), F.Not(inre(p(r".*b.*"))))), "unsat")
+    # 13: window too narrow for all mandatory pieces
+    add("window_too_small",
+        F.And((inre(p(r"(abc){4}.*")), inre(p(r".{0,11}")),
+               inre(p(r".*\d.*")))), "unsat")
+    # 14: window exactly fits
+    add("window_exact",
+        F.And((inre(p(r"(abc){4}\d")), inre(p(r".{13}")))), "sat")
+    # 15: no two consecutive identical lowercase vowels
+    add("no_doubled_vowel",
+        F.And((inre(has_lower), inre(p(r".{4,16}")),
+               F.Not(inre(p(r".*(aa|ee|ii|oo|uu).*"))))), "sat")
+    # 16: at least 3 digits overall
+    add("three_digits",
+        F.And((inre(p(r"(.*\d.*){3}")), inre(p(r".{4,10}")))), "sat")
+    # 17: at least 3 digits but at most 2 characters
+    add("three_digits_short",
+        F.And((inre(p(r"(\D*\d\D*){3}")), inre(p(r".{0,2}")))), "unsat")
+    # 18: alternating letter/digit structure plus class rules
+    add("alternating",
+        F.And((inre(p(r"([a-z]\d){4,8}")), inre(has_digit), inre(has_lower))),
+        "sat")
+    # 19: alternating structure but uppercase required
+    add("alternating_conflict",
+        F.And((inre(p(r"([a-z]\d){4,8}")), inre(has_upper))), "unsat")
+    # 20: starts with letter, ends with digit, length 10
+    add("shape_rule",
+        F.And((inre(p(r"[a-zA-Z].*\d")), F.LenCmp("pwd", "=", 10),
+               no_01)), "sat")
+    # 21-24: k-fold negative constraints (stacked complements)
+    for k, words in enumerate((("00",), ("00", "11"), ("00", "11", "22"),
+                               ("00", "11", "22", "33"))):
+        constraints = [inre(has_digit), inre(p(r".{6,32}"))]
+        constraints += [F.Not(inre(p(r".*%s.*" % w))) for w in words]
+        add("stacked_neg_%d" % (k + 1), F.And(tuple(constraints)), "sat")
+    # 25: all digit pairs forbidden but two digits in a row required
+    pairs = [F.Not(inre(p(r".*%d%d.*" % (i, j))))
+             for i in range(4) for j in range(4)]
+    add("all_pairs_forbidden",
+        F.And(tuple([inre(p(r".*[0-3]{2}.*"))] + pairs)), "unsat")
+    # 26: same but pairs only forbidden for 0..2, so 33 survives
+    pairs_3 = [F.Not(inre(p(r".*%d%d.*" % (i, j))))
+               for i in range(3) for j in range(3)]
+    add("most_pairs_forbidden",
+        F.And(tuple([inre(p(r".*[0-3]{2}.*"))] + pairs_3)), "sat")
+    # 27: username must not appear (fixed username)
+    add("no_username",
+        F.And((inre(p(r".{8,20}")), inre(has_digit),
+               F.Not(inre(p(r".*caleb.*"))))), "sat")
+    # 28: policy equivalence failure: 8+ chars with digit vs digit-first
+    add("policy_difference",
+        F.And((inre(p(r".{8,}&.*\d.*")), F.Not(inre(p(r"\d.{7,}"))))), "sat")
+    # 29: explicit ERE intersection written in the pattern language
+    add("inline_intersection",
+        inre(p(r"(.*\d.*)&(.*[a-z].*)&(.*[A-Z].*)&.{8,16}")), "sat")
+    # 30: inline intersection with an impossible piece
+    add("inline_intersection_unsat",
+        inre(p(r"(.*\d.*)&~(.*\d.*)&.{8,16}")), "unsat")
+    # 31: double negation folds away
+    add("double_negation",
+        F.And((inre(p(r"~(~(.*\d.*))")), inre(p(r"\D*")))), "unsat")
+    # 32: complement of a length window
+    add("neg_length_window",
+        F.And((inre(p(r"~(.{0,7})")), inre(p(r".{0,9}")), inre(has_digit))),
+        "sat")
+    # 33: complement squeeze: between two windows lies nothing
+    add("window_squeeze",
+        F.And((inre(p(r"~(.{0,7})")), inre(p(r".{0,7}")))), "unsat")
+    # 34: grand finale: every operator at once
+    add("kitchen_sink",
+        F.And((inre(p(r"(.*\d.*)&(.*[a-z].*)")), no_01,
+               F.Not(inre(p(r".*(aaa|bbb).*"))), inre(p(r".{10,40}")),
+               F.Or((inre(p(r"[a-z].*")), inre(p(r"\d.*")))))), "sat")
+    return problems

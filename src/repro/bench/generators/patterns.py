@@ -1,0 +1,64 @@
+"""A library of realistic regex patterns, in the spirit of
+regexlib.com (the source of the paper's RegExLib benchmark suites).
+
+All patterns are full-match (no anchors) and restricted to the syntax
+our parser supports — which matches the restrictions the original
+benchmarks applied when translating to SMT regexes.
+"""
+
+PATTERNS = {
+    "email": r"[a-zA-Z0-9._%+\-]+@[a-zA-Z0-9.\-]+\.[a-zA-Z]{2,4}",
+    "email_simple": r"\w+@\w+\.[a-z]{2,3}",
+    "url": r"(http|https)://[a-zA-Z0-9./\-_]+",
+    "domain": r"[a-zA-Z0-9\-]+(\.[a-zA-Z0-9\-]+)+",
+    "ipv4": r"(\d{1,3}\.){3}\d{1,3}",
+    "ipv4_strict": r"((25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)\.){3}(25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)",
+    "phone_us": r"(\(\d{3}\) |\d{3}-)\d{3}-\d{4}",
+    "phone_intl": r"\+\d{1,3} \d{4,14}",
+    "zip_us": r"\d{5}(-\d{4})?",
+    "postcode_uk": r"[A-Z]{1,2}\d{1,2} \d[A-Z]{2}",
+    "ssn": r"\d{3}-\d{2}-\d{4}",
+    "date_iso": r"\d{4}-\d{2}-\d{2}",
+    "date_us": r"\d{1,2}/\d{1,2}/\d{4}",
+    "date_named": r"\d{4}-[a-zA-Z]{3}-\d{2}",
+    "time_24h": r"([01]\d|2[0-3]):[0-5]\d",
+    "time_12h": r"(0?[1-9]|1[0-2]):[0-5]\d (AM|PM)",
+    "hex_color": r"#([0-9a-fA-F]{3}|[0-9a-fA-F]{6})",
+    "uuid": r"[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}",
+    "mac": r"([0-9A-Fa-f]{2}:){5}[0-9A-Fa-f]{2}",
+    "integer": r"-?\d+",
+    "float": r"-?\d+\.\d+",
+    "scientific": r"-?\d+(\.\d+)?[eE][+\-]?\d+",
+    "percent": r"\d{1,3}%",
+    "currency": r"\$\d{1,3}(,\d{3})*(\.\d{2})?",
+    "identifier": r"[a-zA-Z_]\w*",
+    "slug": r"[a-z0-9]+(-[a-z0-9]+)*",
+    "username": r"[a-zA-Z0-9_]{3,16}",
+    "password_chars": r"[a-zA-Z0-9!@#$%&*]{8,20}",
+    "version": r"\d+\.\d+(\.\d+)?",
+    "isbn10": r"\d{9}[\dX]",
+    "hex_number": r"0x[0-9a-fA-F]+",
+    "octal": r"0[0-7]+",
+    "binary": r"[01]+",
+    "base64ish": r"[A-Za-z0-9+/]+={0,2}",
+    "md5": r"[0-9a-f]{32}",
+    "credit_card": r"\d{4}( \d{4}){3}",
+    "twitter": r"@[A-Za-z0-9_]{1,15}",
+    "hashtag": r"#[A-Za-z][A-Za-z0-9_]*",
+    "html_tag": r"<[a-z][a-z0-9]*( [a-z\-]+=\x22[^\x22]*\x22)*>",
+    "css_class": r"\.[a-zA-Z][a-zA-Z0-9_\-]*",
+    "path_unix": r"(/[a-zA-Z0-9._\-]+)+",
+    "month_name": r"(Jan|Feb|Mar|Apr|May|Jun|Jul|Aug|Sep|Oct|Nov|Dec)",
+    "weekday": r"(Mon|Tue|Wed|Thu|Fri|Sat|Sun)day",
+    "roman": r"M{0,3}(CM|CD|D?C{0,3})(XC|XL|L?X{0,3})(IX|IV|V?I{0,3})",
+    "plate": r"[A-Z]{3}-\d{4}",
+    "coordinates": r"-?\d{1,3}\.\d{1,6}, ?-?\d{1,3}\.\d{1,6}",
+}
+
+#: Names in a fixed order (dict order is insertion order, but an
+#: explicit list guards against edits reshuffling benchmark identity).
+PATTERN_NAMES = sorted(PATTERNS)
+
+
+def get(name):
+    return PATTERNS[name]

@@ -1,0 +1,87 @@
+"""RegExLib-like suites: intersection (55) and subset (100) problems
+between realistic regexes, mirroring the benchmark sets of [12, 58].
+
+Labels are not known by construction (the whole point is that these
+are *real* patterns), so the suite is labelled once by the reference
+pipeline — sat labels are certified by finding a witness and checking
+it with the independent membership oracle, exactly like the paper
+labelled unlabeled suites with a trained baseline and then audited
+the answers.
+"""
+
+import random
+
+from repro.regex.parser import parse
+from repro.solver import formula as F
+from repro.bench.harness import Problem
+from repro.bench.generators.patterns import PATTERN_NAMES, PATTERNS
+
+
+def generate_intersection(builder, count=55, seed=5005):
+    """x in r1 /\\ x in r2 for pattern pairs."""
+    rng = random.Random(seed)
+    problems = []
+    names = list(PATTERN_NAMES)
+    for i in range(count):
+        n1, n2 = rng.sample(names, 2)
+        formula = F.And((
+            F.InRe("x", parse(builder, PATTERNS[n1])),
+            F.InRe("x", parse(builder, PATTERNS[n2])),
+        ))
+        problems.append(
+            Problem("regexlib_inter_%03d_%s_%s" % (i, n1, n2),
+                    "regexlib_intersection", "B", formula, None)
+        )
+    return problems
+
+
+def generate_subset(builder, count=100, seed=5050):
+    """Containment queries r1 subseteq r2, as sat(r1 & ~r2).
+
+    Half the pairs are constructed so containment holds by design
+    (widenings: ``r ⊆ r|other``, ``r{2,3} ⊆ r{1,4}``, ``r ⊆
+    prefix-of-r . .*``); the rest are random pairs labelled by the
+    reference pipeline.
+    """
+    rng = random.Random(seed)
+    problems = []
+    names = list(PATTERN_NAMES)
+    for i in range(count):
+        style = i % 4
+        if style == 0:
+            # r subseteq r | other: holds
+            n1, n2 = rng.sample(names, 2)
+            sub = parse(builder, PATTERNS[n1])
+            sup = builder.union([sub, parse(builder, PATTERNS[n2])])
+            expected = "unsat"
+            name = "regexlib_subset_%03d_%s_in_union" % (i, n1)
+        elif style == 1:
+            # r{2,3} subseteq r{1,4}: holds
+            n1 = rng.choice(names)
+            body = parse(builder, PATTERNS[n1])
+            sub = builder.loop(body, 2, 3)
+            sup = builder.loop(body, 1, 4)
+            expected = "unsat"
+            name = "regexlib_subset_%03d_%s_loop" % (i, n1)
+        elif style == 2:
+            # r subseteq .* : holds trivially modulo simplification,
+            # so instead use r . r' subseteq r . .* : holds
+            n1, n2 = rng.sample(names, 2)
+            left = parse(builder, PATTERNS[n1])
+            right = parse(builder, PATTERNS[n2])
+            sub = builder.concat([left, right])
+            sup = builder.concat([left, builder.full])
+            expected = "unsat"
+            name = "regexlib_subset_%03d_%s_prefix" % (i, n1)
+        else:
+            # random pair: labelled by the reference pipeline
+            n1, n2 = rng.sample(names, 2)
+            sub = parse(builder, PATTERNS[n1])
+            sup = parse(builder, PATTERNS[n2])
+            expected = None
+            name = "regexlib_subset_%03d_%s_vs_%s" % (i, n1, n2)
+        formula = F.And((F.InRe("x", sub), F.Not(F.InRe("x", sup))))
+        problems.append(
+            Problem(name, "regexlib_subset", "B", formula, expected)
+        )
+    return problems

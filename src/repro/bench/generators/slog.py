@@ -1,0 +1,68 @@
+"""Slog-like suite: string-analysis constraints from web sanitizers.
+
+The original Slog benchmarks come from analyses of PHP/JS string
+manipulation (XSS sanitization): does a tainted string matching some
+filter still contain a dangerous payload?  We mirror the shape:
+charset filters, payload containment, escaping patterns — labels by
+construction.
+"""
+
+import random
+
+from repro.regex.parser import parse
+from repro.solver import formula as F
+from repro.bench.harness import Problem
+
+_PAYLOADS = ["<script", "javascript:", "onerror=", "<img", "alert("]
+_SAFE_SETS = [r"[a-zA-Z0-9 ]*", r"[a-zA-Z0-9_.\-]*", r"\w*"]
+_LOOSE_SETS = [r".*", r"[ -~]*", r"[a-zA-Z0-9<>=:( ]*", r"[^{}]*"]
+
+
+def generate(builder, count=100, seed=2002):
+    rng = random.Random(seed)
+    problems = []
+    for i in range(count):
+        kind = rng.randrange(5)
+        name = "slog_%03d" % i
+        payload = rng.choice(_PAYLOADS)
+        if kind == 0:
+            # sanitized charset cannot contain the payload
+            formula = F.And((
+                F.InRe("input", parse(builder, rng.choice(_SAFE_SETS))),
+                F.Contains("input", payload),
+            ))
+            expected = "unsat"
+        elif kind == 1:
+            # loose charset can contain it
+            formula = F.And((
+                F.InRe("input", parse(builder, rng.choice(_LOOSE_SETS))),
+                F.Contains("input", payload),
+            ))
+            expected = "sat"
+        elif kind == 2:
+            # output wraps the input shape: quoted attribute value
+            formula = F.And((
+                F.InRe("out", parse(builder, r"[a-z]+=\x22[a-zA-Z0-9 ]*\x22")),
+                F.Contains("out", '"'),
+                F.LenCmp("out", ">=", rng.randrange(4, 10)),
+            ))
+            expected = "sat"
+        elif kind == 3:
+            # filter says letters only; length forces nonempty; payload
+            # prefix required: contradiction
+            formula = F.And((
+                F.InRe("s", parse(builder, r"[a-zA-Z]+")),
+                F.PrefixOf(payload, "s"),
+            ))
+            expected = "unsat"
+        else:
+            # benign membership: template of an escaped string
+            reps = rng.randrange(1, 4)
+            formula = F.And((
+                F.InRe("s", parse(builder, r"(\\\\|\\\x22|[a-zA-Z0-9 ]){%d,%d}"
+                                  % (reps, reps + 8))),
+                F.LenCmp("s", ">=", reps),
+            ))
+            expected = "sat"
+        problems.append(Problem(name, "slog", "NB", formula, expected))
+    return problems

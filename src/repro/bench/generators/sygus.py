@@ -1,0 +1,48 @@
+"""SyGuS-qgen-like suite: pairs of constraints on one string.
+
+The SyGuS query-generation benchmarks ask whether two regex-shaped
+specifications can be met simultaneously; all of them carry multiple
+memberships on the same variable, so the whole family lands in the
+paper's Boolean group.
+"""
+
+import random
+
+from repro.regex.parser import parse
+from repro.solver import formula as F
+from repro.bench.harness import Problem
+
+_SHAPES = [
+    (r"[a-z]+@[a-z]+", r".*@.*", "sat"),
+    (r"[a-z]+@[a-z]+", r"[a-z]*", "unsat"),
+    (r"\d+", r".*[02468]", "sat"),
+    (r"\d+", r"[a-z].*", "unsat"),
+    (r"(foo|bar)+", r".*foo.*", "sat"),
+    (r"(foo|bar)+", r".*baz.*", "unsat"),
+    (r"[a-z]{4,8}", r".*(ing|ed)", "sat"),
+    (r"[a-z]{1,2}", r".{3,}", "unsat"),
+    (r"a*b*c*", r".*abc.*", "sat"),
+    (r"a*b*c*", r".*ca.*", "unsat"),
+    (r"-?\d+\.\d+", r"-.*", "sat"),
+    (r"-?\d+\.\d+", r"\d*", "unsat"),
+]
+
+
+def generate(builder, count=60, seed=4004):
+    rng = random.Random(seed)
+    problems = []
+    for i in range(count):
+        r1, r2, expected = _SHAPES[i % len(_SHAPES)]
+        name = "sygus_%03d" % i
+        constraints = [
+            F.InRe("q", parse(builder, r1)),
+            F.InRe("q", parse(builder, r2)),
+        ]
+        # every third instance adds a length side constraint that does
+        # not change the label (generous upper bound)
+        if rng.random() < 0.33:
+            constraints.append(F.LenCmp("q", "<=", 20 + rng.randrange(10)))
+        problems.append(
+            Problem(name, "sygus", "B", F.And(tuple(constraints)), expected)
+        )
+    return problems

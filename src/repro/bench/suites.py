@@ -1,0 +1,106 @@
+"""Benchmark suite registry (Figure 4c).
+
+Paper counts vs ours (scaled where the original is huge):
+
+=====================  ======  ====
+Suite                  Paper   Ours
+=====================  ======  ====
+Kaluza (NB)             5452    270
+Slog (NB)               1976    100
+Norn (NB)                813     80
+Norn (B)                 147     30
+SyGuS-qgen (B)           343     60
+RegExLib Intersection     55     55
+RegExLib Subset          100    100
+Date (H)                  20     20
+Password (H)              34     34
+Boolean + Loops (H)       21     21
+Determinization Blowup    14     14
+=====================  ======  ====
+"""
+
+from repro.bench.generators import (
+    blowup, boolean_loops, dates, kaluza, norn, passwords, regexlib, slog,
+    sygus,
+)
+from repro.regex.semantics import Matcher
+from repro.solver.result import Budget
+from repro.solver.smt import SmtSolver
+
+PAPER_COUNTS = {
+    "kaluza": 5452, "slog": 1976, "norn_nb": 813, "norn_b": 147,
+    "sygus": 343, "regexlib_intersection": 55, "regexlib_subset": 100,
+    "date": 20, "password": 34, "boolean_loops": 21, "blowup": 14,
+}
+
+
+def non_boolean_suites(builder):
+    """The paper's Non-Boolean group."""
+    return (
+        kaluza.generate(builder)
+        + slog.generate(builder)
+        + norn.generate_nb(builder)
+    )
+
+
+def boolean_suites(builder):
+    """The paper's Boolean group."""
+    return (
+        norn.generate_b(builder)
+        + sygus.generate(builder)
+        + regexlib.generate_intersection(builder)
+        + regexlib.generate_subset(builder)
+    )
+
+
+def handwritten_suites(builder):
+    """The paper's Handwritten group."""
+    return (
+        dates.generate(builder)
+        + passwords.generate(builder)
+        + boolean_loops.generate(builder)
+        + blowup.generate(builder)
+    )
+
+
+def all_suites(builder):
+    return (
+        non_boolean_suites(builder)
+        + boolean_suites(builder)
+        + handwritten_suites(builder)
+    )
+
+
+def label_problems(builder, problems, fuel=2000000, seconds=20.0):
+    """Fill in missing expected labels using the reference pipeline.
+
+    sat labels are only accepted when the produced model also passes
+    the independent membership oracle; problems the labeller cannot
+    decide stay unlabeled (counted as *unchecked* by the harness,
+    mirroring the paper's treatment).
+    """
+    solver = SmtSolver(builder)
+    matcher = Matcher(builder.algebra)
+    for problem in problems:
+        if problem.expected is not None:
+            continue
+        result = solver.solve(problem.formula, budget=Budget(fuel, seconds))
+        if result.is_unsat:
+            problem.expected = "unsat"
+        elif result.is_sat and solver.check_model(problem.formula, result.model):
+            problem.expected = "sat"
+    return problems
+
+
+def suite_inventory(builder):
+    """Per-suite instance counts next to the paper's (Figure 4c)."""
+    counts = {}
+    for problem in all_suites(builder):
+        key = problem.suite
+        if key == "norn":
+            key = "norn_nb" if problem.group == "NB" else "norn_b"
+        counts[key] = counts.get(key, 0) + 1
+    return {
+        suite: {"ours": counts.get(suite, 0), "paper": paper}
+        for suite, paper in PAPER_COUNTS.items()
+    }

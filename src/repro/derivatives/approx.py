@@ -1,0 +1,91 @@
+"""Positive and negative derivatives w.r.t. a *predicate* —
+the Keil–Thiemann approach the paper contrasts with (§1, §8.1).
+
+Before transition regexes, the way to take a derivative "symbolically"
+was w.r.t. a whole character predicate ``B`` at once:
+
+* the **positive** derivative ``pos(B, R)`` assumes the character
+  *might* be any element of ``B`` — an **over**-approximation;
+* the **negative** derivative ``neg(B, R)`` assumes only what holds
+  for *every* element of ``B`` — an **under**-approximation.
+
+[36, Lemma 3]: for every ``a in B``::
+
+    L(neg(B, R))  ⊆  D_a(L(R))  ⊆  L(pos(B, R))
+
+and both inclusions are strict in general — taking a single symbolic
+derivative of an extended regex w.r.t. a predicate *cannot* be exact,
+which is precisely the gap transition regexes close (the conditional
+``if(φ, ·, ·)`` keeps both cases instead of committing to one).
+Complement swaps the two approximations (the dual rules below), so a
+fixed choice of polarity breaks under ``~`` — the paper's §1 argument.
+
+These functions are exact when ``B`` is a minterm of ``Psi_R`` (it then
+behaves like a single letter), which is the *local mintermization*
+escape hatch [36] uses — at up to ``2^n`` minterms per step.
+"""
+
+from repro.regex.ast import (
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+)
+
+
+def positive(builder, pred, regex):
+    """The over-approximating derivative ``Delta_B(R)``."""
+    return _derive(builder, pred, regex, over=True)
+
+
+def negative(builder, pred, regex):
+    """The under-approximating derivative ``Nabla_B(R)``."""
+    return _derive(builder, pred, regex, over=False)
+
+
+def _derive(builder, pred, regex, over):
+    algebra = builder.algebra
+    kind = regex.kind
+    if kind in (EMPTY, EPSILON):
+        return builder.empty
+    if kind == PRED:
+        if over:
+            # some character of B may satisfy phi
+            hit = algebra.is_sat(algebra.conj(pred, regex.pred))
+        else:
+            # every character of B satisfies phi
+            hit = algebra.implies(pred, regex.pred)
+        return builder.epsilon if hit else builder.empty
+    if kind == CONCAT:
+        head = regex.children[0]
+        tail = builder.concat(list(regex.children[1:]))
+        left = builder.concat([_derive(builder, pred, head, over), tail])
+        if head.nullable:
+            return builder.union([left, _derive(builder, pred, tail, over)])
+        return left
+    if kind == LOOP:
+        body = regex.children[0]
+        lo = max(regex.lo - 1, 0)
+        hi = regex.hi if regex.hi is INF else regex.hi - 1
+        return builder.concat([
+            _derive(builder, pred, body, over), builder.loop(body, lo, hi),
+        ])
+    if kind == UNION:
+        return builder.union(
+            [_derive(builder, pred, c, over) for c in regex.children]
+        )
+    if kind == INTER:
+        return builder.inter(
+            [_derive(builder, pred, c, over) for c in regex.children]
+        )
+    if kind == COMPL:
+        # the dual rule: over-approximating ~R needs the UNDER
+        # approximation of R, and vice versa
+        return builder.compl(
+            _derive(builder, pred, regex.children[0], not over)
+        )
+    raise AssertionError("unknown node kind %r" % kind)
+
+
+def is_exact_for(builder, pred, regex):
+    """True iff ``pos`` and ``neg`` coincide syntactically for this
+    (predicate, regex) pair — e.g. when ``pred`` is a minterm of the
+    regex's predicates, or the regex mentions no overlapping classes."""
+    return positive(builder, pred, regex) is negative(builder, pred, regex)

@@ -1,0 +1,42 @@
+"""Exception hierarchy shared across the library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AlgebraError(ReproError):
+    """A character-theory operation was used incorrectly.
+
+    Typical causes: mixing predicates from two different algebra
+    instances, or asking for a witness of an unsatisfiable predicate.
+    """
+
+
+class RegexSyntaxError(ReproError):
+    """A concrete regex or SMT-LIB regex term failed to parse."""
+
+    def __init__(self, message, text=None, position=None):
+        if text is not None and position is not None:
+            message = "%s at position %d in %r" % (message, position, text)
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class SmtLibError(ReproError):
+    """An SMT-LIB script is malformed or uses an unsupported feature."""
+
+
+class UnsupportedError(ReproError):
+    """A (baseline) solver was asked to handle a construct it does not
+    support; mirrors real solvers answering *unknown* on e.g. complement."""
+
+
+class BudgetExceeded(ReproError):
+    """A solver ran out of its fuel or wall-clock budget (a 'timeout')."""
+
+    def __init__(self, message="budget exceeded", fuel_used=None, elapsed=None):
+        super().__init__(message)
+        self.fuel_used = fuel_used
+        self.elapsed = elapsed

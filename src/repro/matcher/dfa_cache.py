@@ -1,0 +1,63 @@
+"""Lazy DFA over derivative states, for *matching* (paper, §8.5).
+
+Matching differs from solving: the next character is always known, so
+no conditionals are needed — the matcher just evaluates the clean
+conditional tree at each input character and caches the resulting
+(state, character-class) -> state transitions, exactly like the
+Symbolic Regex Matcher (SRM) caches Brzozowski derivative steps.
+
+States are regexes (hash-consed, so equality is identity); per state
+the engine's derivative tree induces a partition of the alphabet into
+guard classes, and transitions are cached per class, not per character
+— the symbolic analogue of SRM's minterm-indexed DFA cache, except the
+classes come from the conditional tree for free instead of an up-front
+mintermization pass.
+"""
+
+from repro.derivatives.condtree import DerivativeEngine
+
+
+class LazyDfa:
+    """Transition cache mapping (state-uid, guard-index) to states."""
+
+    def __init__(self, builder, engine=None):
+        self.builder = builder
+        self.algebra = builder.algebra
+        self.engine = engine or DerivativeEngine(builder)
+        # state uid -> list of (guard, successor regex)
+        self._rows = {}
+        #: cache statistics (exposed to the matching benchmarks)
+        self.states_built = 0
+        self.steps = 0
+
+    def row(self, state):
+        """The transition row of ``state``: disjoint (guard, target)
+        pairs whose guards partition the alphabet."""
+        cached = self._rows.get(state.uid)
+        if cached is not None:
+            return cached
+        row = [
+            (guard, self.builder.union(list(leaves)))
+            for guard, leaves in self.engine.transitions(state)
+        ]
+        self._rows[state.uid] = row
+        self.states_built += 1
+        return row
+
+    def step(self, state, char):
+        """One DFA step; returns the successor state (possibly bottom)."""
+        self.steps += 1
+        for guard, target in self.row(state):
+            if self.algebra.member(char, guard):
+                return target
+        return self.builder.empty
+
+    def run(self, state, text, start=0):
+        """Run from ``state`` over ``text[start:]``; yields the state
+        *after* each character (for match-position scanning)."""
+        current = state
+        for i in range(start, len(text)):
+            current = self.step(current, text[i])
+            yield i, current
+            if current is self.builder.empty:
+                return

@@ -1,0 +1,126 @@
+"""Derivative-based regex matching (the SRM contrast, paper §8.5).
+
+"In matching, the next concrete character is always known, whereas in
+solving, the next character in the string may be unknown."  This
+module is the matching side of that contrast: the same derivative
+engine that powers the solver, driven by concrete characters through a
+lazily built DFA cache.  It supports the full ERE class — intersection
+and complement included — which classical backtracking matchers do not.
+"""
+
+from repro.matcher.dfa_cache import LazyDfa
+
+
+class Match:
+    """A located match: ``text[start:end]`` is in the language."""
+
+    __slots__ = ("text", "start", "end")
+
+    def __init__(self, text, start, end):
+        self.text = text
+        self.start = start
+        self.end = end
+
+    def group(self):
+        return self.text[self.start:self.end]
+
+    def span(self):
+        return (self.start, self.end)
+
+    def __repr__(self):
+        return "Match(span=(%d, %d), group=%r)" % (
+            self.start, self.end, self.group(),
+        )
+
+
+class RegexMatcher:
+    """Compiled matcher for one ERE (full-match, search, scan)."""
+
+    def __init__(self, builder, regex, dfa=None):
+        self.builder = builder
+        self.regex = regex
+        self.dfa = dfa or LazyDfa(builder)
+
+    # -- whole-string matching ------------------------------------------------
+
+    def fullmatch(self, text):
+        """True iff the entire ``text`` is in the language."""
+        state = self.regex
+        for _, state in self.dfa.run(self.regex, text):
+            if state is self.builder.empty:
+                return False
+        return state.nullable
+
+    # -- substring search --------------------------------------------------------
+
+    def _earliest_end(self, text, start):
+        """Smallest ``end >= start`` such that some ``i`` in
+        ``[start, end]`` has ``text[i:end]`` in the language.
+
+        Uses the union-of-restarts scan: the state is the (hash-consed)
+        union of the derivatives of every live start position, with a
+        fresh copy of the regex injected at each step.
+        """
+        builder = self.builder
+        state = self.regex
+        if state.nullable:
+            return start
+        for i in range(start, len(text)):
+            stepped = self.dfa.step(state, text[i])
+            # inject a fresh start: a match may begin at position i+1
+            state = builder.union([stepped, self.regex])
+            if state.nullable:
+                # some started match just closed at i+1
+                return i + 1
+        return None
+
+    def search(self, text, start=0):
+        """Leftmost match (earliest start; among those, earliest end).
+
+        Returns a :class:`Match` or None.  Empty matches are reported
+        when the language is nullable.
+        """
+        end = self._earliest_end(text, start)
+        if end is None:
+            return None
+        # find the leftmost start that closes at `end`
+        for i in range(start, end + 1):
+            if self.fullmatch(text[i:end]):
+                best_start = i
+                break
+        else:  # pragma: no cover - earliest_end guarantees a start
+            return None
+        return Match(text, best_start, end)
+
+    def is_match(self, text):
+        """True iff some substring of ``text`` matches."""
+        return self._earliest_end(text, 0) is not None
+
+    def finditer(self, text):
+        """Non-overlapping matches, scanning left to right.
+
+        Empty matches advance the scan position by one to guarantee
+        progress (the usual regex-engine convention).
+        """
+        position = 0
+        while position <= len(text):
+            match = self.search(text, position)
+            if match is None:
+                return
+            yield match
+            position = match.end if match.end > position else position + 1
+
+    def findall(self, text):
+        """The matched substrings of :meth:`finditer`."""
+        return [m.group() for m in self.finditer(text)]
+
+    def count(self, text):
+        """Number of non-overlapping matches."""
+        return sum(1 for _ in self.finditer(text))
+
+
+def compile_pattern(builder, pattern):
+    """Parse and compile a pattern into a :class:`RegexMatcher`."""
+    from repro.regex.parser import parse
+
+    return RegexMatcher(builder, parse(builder, pattern))

@@ -1,0 +1,90 @@
+"""Online ERE monitoring (the related-work application [54, 56]).
+
+A :class:`Monitor` consumes a stream one character at a time and
+maintains a three-valued verdict about the *whole* stream seen so far:
+
+* ``MATCHING``  — the current prefix is in the language;
+* ``PENDING``   — not currently matching, but some extension is;
+* ``FAILED``    — no extension can ever match (the derivative reached
+  a *dead* state of the solver's persistent graph — Section 5's
+  dead-end detection doing runtime verification work).
+
+``FAILED`` is sticky: once the residual language is empty it stays
+empty.  Verdicts are exact, not approximations: deadness is decided by
+exhausting the (finite, Theorem 7.1) derivative space of the residual.
+"""
+
+from repro.solver.engine import RegexSolver
+from repro.solver.result import Budget
+
+MATCHING = "matching"
+PENDING = "pending"
+FAILED = "failed"
+
+
+class Monitor:
+    """Exact three-valued online monitor for one ERE."""
+
+    def __init__(self, builder, regex, solver=None, fuel_per_step=100000):
+        self.builder = builder
+        self.regex = regex
+        # share one solver so deadness knowledge persists across
+        # monitors and across resets
+        self.solver = solver or RegexSolver(builder)
+        self.fuel_per_step = fuel_per_step
+        self.reset()
+
+    def reset(self):
+        """Restart the monitor on a fresh stream."""
+        self.state = self.regex
+        self.consumed = 0
+        self._verdict = None
+
+    def feed(self, char):
+        """Consume one character; returns the new verdict."""
+        if self.verdict() != FAILED:
+            self.state = self.solver.engine.derive_regex(self.state, char)
+            self._verdict = None
+        self.consumed += 1
+        return self.verdict()
+
+    def feed_all(self, chars):
+        """Consume a chunk; returns the final verdict.  After FAILED,
+        :meth:`feed` is O(1) per character (no derivative work)."""
+        verdict = self.verdict()
+        for char in chars:
+            verdict = self.feed(char)
+        return verdict
+
+    def verdict(self):
+        """The current three-valued verdict (cached per position)."""
+        if self._verdict is not None:
+            return self._verdict
+        if self.state.nullable:
+            self._verdict = MATCHING
+        else:
+            alive = self.solver.is_satisfiable(
+                self.state, Budget(fuel=self.fuel_per_step)
+            )
+            self._verdict = PENDING if alive.is_sat else FAILED
+        return self._verdict
+
+    def residual(self):
+        """The residual language (what the suffix still must match)."""
+        return self.state
+
+    def is_definitive(self):
+        """True iff the verdict can no longer change (FAILED, or
+        MATCHING on a universal residual)."""
+        if self.verdict() == FAILED:
+            return True
+        return self.state is self.builder.full
+
+
+def monitor_stream(builder, regex, stream):
+    """Convenience: verdict trace for every prefix of ``stream``."""
+    monitor = Monitor(builder, regex)
+    trace = [monitor.verdict()]
+    for char in stream:
+        trace.append(monitor.feed(char))
+    return trace

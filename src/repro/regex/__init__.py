@@ -1,0 +1,22 @@
+"""Extended regular expressions: AST, smart constructors, parser,
+printer, and reference semantics."""
+
+from repro.regex.ast import (
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, Regex, UNION,
+)
+from repro.regex.builder import RegexBuilder
+from repro.regex.parser import parse
+from repro.regex.printer import to_pattern
+from repro.regex.semantics import Matcher, language_upto, matches
+
+__all__ = [
+    "Regex",
+    "RegexBuilder",
+    "parse",
+    "to_pattern",
+    "Matcher",
+    "matches",
+    "language_upto",
+    "EMPTY", "EPSILON", "PRED", "CONCAT", "UNION", "INTER", "COMPL",
+    "LOOP", "INF",
+]

@@ -1,0 +1,126 @@
+"""Extended regular expression abstract syntax (paper, Section 3).
+
+The grammar implemented is::
+
+    ERE ::= phi | epsilon | bottom | ERE . ERE | ERE{lo,hi} | ERE*
+          | ERE | ERE  |  ERE & ERE  |  ~ERE
+
+Kleene star is represented as the loop ``R{0,inf}``; bounded loops are
+first-class so that ``.{100}``-style repetition derives in O(1) per
+step (this matters for the determinization-blowup experiments).
+
+Nodes are immutable and *hash-consed* by :class:`repro.regex.builder.
+RegexBuilder`: structurally equal regexes (modulo the similarity rules
+of Section 4 — ``&``/``|`` idempotent, associative, commutative;
+``~~R = R``; unit and absorbing elements) are the same object.  Node
+identity therefore doubles as the similarity-class identity that
+Theorem 7.1 relies on for finiteness of the derivative space.
+"""
+
+# Node kinds.
+EMPTY = "empty"      # bottom: the empty language
+EPSILON = "epsilon"  # the language {""}
+PRED = "pred"        # a character predicate, a single-character language
+CONCAT = "concat"    # concatenation (flattened, >= 2 children)
+UNION = "union"      # | (flattened, sorted, >= 2 children)
+INTER = "inter"      # & (flattened, sorted, >= 2 children)
+COMPL = "compl"      # ~ complement
+LOOP = "loop"        # R{lo,hi}; hi None means unbounded; star is {0,None}
+
+#: Marker for an unbounded loop upper bound.
+INF = None
+
+
+class Regex:
+    """A hash-consed ERE node.
+
+    Do not construct directly — use :class:`repro.regex.builder.
+    RegexBuilder`, which guarantees the canonicalization invariants.
+    Equality is identity; ``uid`` gives a stable total order used to
+    sort the children of commutative operators.
+    """
+
+    __slots__ = (
+        "kind", "pred", "children", "lo", "hi", "uid", "nullable", "owner",
+        "_hash",
+    )
+
+    def __init__(self, kind, pred, children, lo, hi, uid, nullable, owner=None):
+        self.owner = owner
+        self.kind = kind
+        self.pred = pred
+        self.children = children
+        self.lo = lo
+        self.hi = hi
+        self.uid = uid
+        self.nullable = nullable
+        self._hash = hash((kind, uid))
+
+    def __hash__(self):
+        return self._hash
+
+    # Identity equality: the builder interns nodes.
+
+    def __repr__(self):
+        from repro.regex.printer import to_pattern
+
+        try:
+            return "Regex(%s)" % to_pattern(self)
+        except Exception:  # pragma: no cover - repr must never raise
+            return "Regex<%s #%d>" % (self.kind, self.uid)
+
+    # -- structural helpers --------------------------------------------------
+
+    @property
+    def is_star(self):
+        """True for ``R*`` (an unbounded loop from zero)."""
+        return self.kind == LOOP and self.lo == 0 and self.hi is INF
+
+    def iter_subterms(self):
+        """Yield this node and all subterms, depth-first, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.children:
+                stack.extend(reversed(node.children))
+
+    def predicates(self):
+        """The set ``Psi_R`` of character predicates occurring in R."""
+        return {n.pred for n in self.iter_subterms() if n.kind == PRED}
+
+    def pred_count(self):
+        """The number of predicate *nodes*, ``#(R)`` from Theorem 7.3."""
+        return sum(1 for n in self.iter_subterms() if n.kind == PRED)
+
+    def size(self):
+        """Total number of AST nodes."""
+        return sum(1 for _ in self.iter_subterms())
+
+    def depth(self):
+        """Height of the AST."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def is_clean(self):
+        """Clean in the sense of Theorem 7.3: no ``bottom`` and no
+        unsatisfiable predicates anywhere (builders never intern unsat
+        predicates as PRED, so checking for EMPTY suffices)."""
+        return all(n.kind != EMPTY for n in self.iter_subterms())
+
+    def in_b_re(self):
+        """True iff the regex is in ``B(RE)``: a Boolean combination of
+        standard regexes, i.e. no ``&``/``~`` nested under ``.``/loops."""
+
+        def standard(node):
+            if node.kind in (INTER, COMPL):
+                return False
+            return all(standard(child) for child in node.children or ())
+
+        def boolean_layer(node):
+            if node.kind in (UNION, INTER, COMPL):
+                return all(boolean_layer(child) for child in node.children)
+            return standard(node)
+
+        return boolean_layer(self)

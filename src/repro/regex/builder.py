@@ -1,0 +1,250 @@
+"""Smart constructors for hash-consed EREs.
+
+A :class:`RegexBuilder` is tied to one character algebra and interns
+every node it creates, applying the algebraic laws of Section 4
+("Algebraic Properties") at construction time:
+
+* ``.*`` is absorbing for ``|`` and the unit of ``&``;
+* ``bottom`` is the unit of ``|`` and absorbing for ``&`` and ``.``;
+* ``&`` and ``|`` are idempotent, associative, commutative (children
+  are flattened, deduplicated and sorted by uid);
+* ``~~R = R``; adjacent character predicates in ``|``/``&`` fuse into
+  one predicate of the algebra;
+* loop bounds normalize (``R{1,1} = R``, ``R{0,0} = eps``, ``(R*)* =
+  R*``, ...).
+
+Working modulo these similarity rules is what makes the set of
+derivatives finite (Theorem 7.1) without full language-equivalence
+checks — the algebra is deliberately *not* extensional at the regex
+level.
+"""
+
+from repro.errors import AlgebraError
+from repro.regex.ast import (
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, Regex, UNION,
+)
+
+
+class RegexBuilder:
+    """Factory and interning table for :class:`Regex` nodes."""
+
+    def __init__(self, algebra):
+        self.algebra = algebra
+        self._table = {}
+        self._next_uid = 0
+        self.empty = self._intern(EMPTY, None, (), None, None, nullable=False)
+        self.epsilon = self._intern(EPSILON, None, (), None, None, nullable=True)
+        #: ``.`` — any single character.
+        self.dot = self._intern(PRED, algebra.top, (), None, None, nullable=False)
+        #: ``.*`` — the full language, the paper's top regex.
+        self.full = self._intern(LOOP, None, (self.dot,), 0, INF, nullable=True)
+
+    # -- interning ---------------------------------------------------------
+
+    def _intern(self, kind, pred, children, lo, hi, nullable):
+        for child in children:
+            if child.owner is not self:
+                raise AlgebraError(
+                    "regex %r belongs to a different builder; regexes "
+                    "cannot be mixed across builders" % (child,)
+                )
+        key = (kind, pred, tuple(c.uid for c in children), lo, hi)
+        node = self._table.get(key)
+        if node is None:
+            node = Regex(
+                kind, pred, tuple(children), lo, hi, self._next_uid,
+                nullable, owner=self,
+            )
+            self._next_uid += 1
+            self._table[key] = node
+        return node
+
+    @property
+    def interned_count(self):
+        """Number of distinct regexes created so far (a state-space
+        metric reported by the benchmarks)."""
+        return len(self._table)
+
+    # -- leaves ---------------------------------------------------------------
+
+    def pred(self, phi):
+        """Single-character language ``[[phi]]``."""
+        if not self.algebra.is_sat(phi):
+            return self.empty
+        return self._intern(PRED, phi, (), None, None, nullable=False)
+
+    def char(self, c):
+        """The singleton one-character string language ``{c}``."""
+        return self.pred(self.algebra.from_char(c))
+
+    def string(self, s):
+        """The singleton language ``{s}``."""
+        return self.concat([self.char(c) for c in s])
+
+    def ranges(self, pairs):
+        """Character class from inclusive (lo, hi) codepoint ranges."""
+        return self.pred(self.algebra.from_ranges(pairs))
+
+    # -- concatenation ----------------------------------------------------------
+
+    def concat(self, parts):
+        """Concatenation, flattened; ``bottom`` absorbs, ``eps`` is unit."""
+        flat = []
+        for part in parts:
+            if part.kind == EMPTY:
+                return self.empty
+            if part.kind == EPSILON:
+                continue
+            if part.kind == CONCAT:
+                flat.extend(part.children)
+            else:
+                flat.append(part)
+        if not flat:
+            return self.epsilon
+        if len(flat) == 1:
+            return flat[0]
+        nullable = all(p.nullable for p in flat)
+        return self._intern(CONCAT, None, tuple(flat), None, None, nullable)
+
+    def seq(self, *parts):
+        """Variadic convenience wrapper around :meth:`concat`."""
+        return self.concat(list(parts))
+
+    # -- boolean combinators -------------------------------------------------------
+
+    def union(self, parts):
+        """Disjunction ``|`` with the ACI + unit/absorber laws applied."""
+        return self._boolean(parts, UNION)
+
+    def inter(self, parts):
+        """Conjunction ``&`` with the ACI + unit/absorber laws applied."""
+        return self._boolean(parts, INTER)
+
+    def _boolean(self, parts, kind):
+        unit = self.empty if kind == UNION else self.full
+        absorber = self.full if kind == UNION else self.empty
+        members = {}
+        pred_acc = None
+        stack = list(parts)
+        while stack:
+            part = stack.pop()
+            if part is absorber:
+                return absorber
+            if part is unit:
+                continue
+            if part.kind == kind:
+                stack.extend(part.children)
+            elif part.kind == PRED and kind == UNION:
+                pred_acc = part.pred if pred_acc is None else self.algebra.disj(
+                    pred_acc, part.pred
+                )
+            else:
+                members[part.uid] = part
+        if pred_acc is not None:
+            fused = self.pred(pred_acc)
+            if fused is absorber:
+                return absorber
+            if fused is not unit:
+                members[fused.uid] = fused
+        if not members:
+            return unit
+        children = sorted(members.values(), key=lambda r: r.uid)
+        if len(children) == 1:
+            return children[0]
+        # R | ~R = .*  and  R & ~R = bottom
+        uids = set(members)
+        for child in children:
+            if child.kind == COMPL and child.children[0].uid in uids:
+                return absorber
+        nullable = (
+            any(c.nullable for c in children)
+            if kind == UNION
+            else all(c.nullable for c in children)
+        )
+        return self._intern(kind, None, tuple(children), None, None, nullable)
+
+    def alt(self, *parts):
+        """Variadic convenience wrapper around :meth:`union`."""
+        return self.union(list(parts))
+
+    def both(self, *parts):
+        """Variadic convenience wrapper around :meth:`inter`."""
+        return self.inter(list(parts))
+
+    def compl(self, r):
+        """Complement ``~R`` with ``~~R = R``, ``~bottom = .*``."""
+        if r.kind == COMPL:
+            return r.children[0]
+        if r is self.empty:
+            return self.full
+        if r is self.full:
+            return self.empty
+        return self._intern(COMPL, None, (r,), None, None, not r.nullable)
+
+    def diff(self, r, s):
+        """Difference ``R & ~S`` (SMT-LIB ``re.diff``)."""
+        return self.inter([r, self.compl(s)])
+
+    # -- iteration -------------------------------------------------------------------
+
+    def loop(self, r, lo, hi=INF):
+        """Bounded/unbounded iteration ``R{lo,hi}`` (``hi=None`` = inf)."""
+        if lo < 0 or (hi is not INF and hi < lo):
+            raise AlgebraError("bad loop bounds {%r,%r}" % (lo, hi))
+        if hi == 0:
+            return self.epsilon
+        if r.kind == EPSILON:
+            return self.epsilon
+        if r.kind == EMPTY:
+            return self.epsilon if lo == 0 else self.empty
+        if lo == 1 and hi == 1:
+            return r
+        if lo == 0 and hi == 1 and r.nullable:
+            # R? = R when eps is already in L(R)
+            return r
+        if r.kind == LOOP:
+            if r.lo == 0 and r.hi is INF:
+                # (R*){lo,hi} = R*: powers of R* collapse to R* and the
+                # k=0 term only contributes eps, already in R*.
+                return r
+            if lo == 0 and hi is INF and r.lo == 0:
+                # (R{0,k})* = R*.
+                return self.loop(r.children[0], 0, INF)
+        nullable = lo == 0 or r.nullable
+        return self._intern(LOOP, None, (r,), lo, hi, nullable)
+
+    def star(self, r):
+        """Kleene star ``R*``."""
+        return self.loop(r, 0, INF)
+
+    def plus(self, r):
+        """``R+`` = ``R{1,inf}``."""
+        return self.loop(r, 1, INF)
+
+    def opt(self, r):
+        """``R?`` = ``R{0,1}``."""
+        if r.nullable:
+            return r
+        return self.loop(r, 0, 1)
+
+    # -- misc -------------------------------------------------------------------------
+
+    def any_length(self, lo, hi=INF):
+        """``.{lo,hi}`` — all strings whose length is in the window."""
+        return self.loop(self.dot, lo, hi)
+
+    def contains(self, r):
+        """``.*R.*`` — all strings with a factor in ``L(R)``."""
+        return self.concat([self.full, r, self.full])
+
+    def not_contains(self, r):
+        """``~(.*R.*)`` — all strings avoiding factors in ``L(R)``."""
+        return self.compl(self.contains(r))
+
+    def starts_with(self, r):
+        """``R.*``."""
+        return self.concat([r, self.full])
+
+    def ends_with(self, r):
+        """``.*R``."""
+        return self.concat([self.full, r])

@@ -1,0 +1,262 @@
+"""Concrete regex parser.
+
+Supports the .NET-flavoured subset the paper's benchmarks use, plus the
+two extended operators:
+
+* alternation ``|``, intersection ``&``, complement ``~R`` (prefix);
+* quantifiers ``*``, ``+``, ``?``, ``{m}``, ``{m,}``, ``{m,n}`` (a
+  trailing lazy ``?`` is accepted and ignored — laziness is irrelevant
+  to the language);
+* character classes ``[...]`` / ``[^...]`` with ranges and class
+  escapes, ``.``, class escapes ``\\d \\D \\w \\W \\s \\S``;
+* escapes ``\\n \\r \\t \\f \\v \\0 \\xHH \\uHHHH \\u{HEX}`` and
+  escaped metacharacters;
+* ``()`` parses as epsilon and ``[]`` as the empty language, so every
+  regex the printer can emit round-trips.
+
+Precedence (loosest to tightest): ``|``, ``&``, ``~``, concatenation,
+quantifiers.
+"""
+
+from repro.alphabet.charclass import ESCAPE_CLASSES, case_fold
+from repro.errors import RegexSyntaxError
+from repro.regex.ast import INF
+
+_SIMPLE_ESCAPES = {
+    "n": 0x0A, "r": 0x0D, "t": 0x09, "f": 0x0C, "v": 0x0B,
+    "a": 0x07, "e": 0x1B, "0": 0x00,
+}
+
+
+class _Parser:
+    def __init__(self, builder, text):
+        self.builder = builder
+        self.algebra = builder.algebra
+        self.text = text
+        self.pos = 0
+        self.ignore_case = False
+
+    # -- low-level helpers ---------------------------------------------------
+
+    def error(self, message):
+        raise RegexSyntaxError(message, text=self.text, position=self.pos)
+
+    def peek(self):
+        return self.text[self.pos] if self.pos < len(self.text) else None
+
+    def next(self):
+        ch = self.peek()
+        if ch is None:
+            self.error("unexpected end of pattern")
+        self.pos += 1
+        return ch
+
+    def eat(self, ch):
+        if self.peek() == ch:
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, ch):
+        if not self.eat(ch):
+            self.error("expected %r" % ch)
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse(self):
+        if self.text.startswith("(?i)"):
+            self.ignore_case = True
+            self.pos = 4
+        regex = self.parse_union()
+        if self.pos != len(self.text):
+            self.error("unexpected %r" % self.peek())
+        return regex
+
+    def mk_pred(self, phi):
+        """Build a predicate atom, case-folding under ``(?i)``."""
+        if self.ignore_case:
+            phi = case_fold(self.algebra, phi)
+        return self.builder.pred(phi)
+
+    def parse_union(self):
+        parts = [self.parse_inter()]
+        while self.eat("|"):
+            parts.append(self.parse_inter())
+        return self.builder.union(parts)
+
+    def parse_inter(self):
+        parts = [self.parse_compl()]
+        while self.eat("&"):
+            parts.append(self.parse_compl())
+        return self.builder.inter(parts)
+
+    def parse_compl(self):
+        if self.eat("~"):
+            return self.builder.compl(self.parse_compl())
+        return self.parse_concat()
+
+    def parse_concat(self):
+        parts = []
+        while True:
+            ch = self.peek()
+            if ch is None or ch in "|&)":
+                break
+            if ch == "~":
+                # allow e.g. "a~(b)" — complement binds the rest tightly
+                parts.append(self.parse_compl())
+                continue
+            parts.append(self.parse_quantified())
+        return self.builder.concat(parts)
+
+    def parse_quantified(self):
+        atom = self.parse_atom()
+        while True:
+            ch = self.peek()
+            if ch == "*":
+                self.pos += 1
+                atom = self.builder.star(atom)
+            elif ch == "+":
+                self.pos += 1
+                atom = self.builder.plus(atom)
+            elif ch == "?":
+                self.pos += 1
+                atom = self.builder.opt(atom)
+            elif ch == "{":
+                saved = self.pos
+                bounds = self.try_parse_bounds()
+                if bounds is None:
+                    self.pos = saved
+                    break
+                lo, hi = bounds
+                atom = self.builder.loop(atom, lo, hi)
+            else:
+                break
+            self.eat("?")  # ignore lazy-quantifier marker
+        return atom
+
+    def try_parse_bounds(self):
+        """Parse ``{m}``, ``{m,}`` or ``{m,n}``; None if not a bound."""
+        self.expect("{")
+        lo = self.parse_int()
+        if lo is None:
+            return None
+        if self.eat("}"):
+            return lo, lo
+        if not self.eat(","):
+            return None
+        if self.eat("}"):
+            return lo, INF
+        hi = self.parse_int()
+        if hi is None or not self.eat("}"):
+            return None
+        if hi < lo:
+            self.error("loop upper bound below lower bound")
+        return lo, hi
+
+    def parse_int(self):
+        start = self.pos
+        while self.peek() is not None and self.peek().isdigit():
+            self.pos += 1
+        if self.pos == start:
+            return None
+        return int(self.text[start:self.pos])
+
+    def parse_atom(self):
+        ch = self.next()
+        if ch == "(":
+            if self.eat(")"):
+                return self.builder.epsilon
+            if self.peek() == "?":
+                # only the non-capturing group marker is supported
+                self.pos += 1
+                if not self.eat(":"):
+                    self.error("unsupported group construct (?%s" % self.peek())
+            inner = self.parse_union()
+            self.expect(")")
+            return inner
+        if ch == ".":
+            return self.builder.dot
+        if ch == "[":
+            return self.parse_class()
+        if ch == "\\":
+            return self.parse_escape_atom()
+        if ch in "*+?":
+            self.error("quantifier %r with nothing to repeat" % ch)
+        if ch in ")]^$":
+            self.error("unexpected %r" % ch)
+        # '{' that did not start a bound, and a stray '}', are literals
+        return self.mk_pred(self.algebra.from_char(ch))
+
+    def parse_escape_atom(self):
+        ch = self.next()
+        if ch in ESCAPE_CLASSES:
+            return self.builder.pred(ESCAPE_CLASSES[ch](self.algebra))
+        code = self.finish_char_escape(ch)
+        return self.mk_pred(self.algebra.from_ranges([(code, code)]))
+
+    def finish_char_escape(self, ch):
+        """Decode the escape whose introducing character was ``ch``."""
+        if ch in _SIMPLE_ESCAPES:
+            return _SIMPLE_ESCAPES[ch]
+        if ch == "x":
+            return int(self.next() + self.next(), 16)
+        if ch == "u":
+            if self.eat("{"):
+                start = self.pos
+                while self.peek() != "}":
+                    self.next()
+                code = int(self.text[start:self.pos], 16)
+                self.expect("}")
+                return code
+            return int("".join(self.next() for _ in range(4)), 16)
+        # escaped literal (metacharacters and anything else)
+        return ord(ch)
+
+    def parse_class(self):
+        if self.eat("]"):
+            return self.builder.empty  # "[]" prints/parses as bottom
+        negated = self.eat("^")
+        if negated and self.eat("]"):
+            return self.builder.dot  # "[^]" is the full class
+        ranges = []
+        preds = []
+        while not self.eat("]"):
+            item = self.parse_class_item(preds)
+            if item is None:
+                continue
+            lo = item
+            if self.peek() == "-" and self.text[self.pos + 1: self.pos + 2] not in ("]", ""):
+                self.pos += 1
+                hi = self.parse_class_item(preds)
+                if hi is None:
+                    self.error("class escape cannot bound a range")
+                if hi < lo:
+                    self.error("reversed range in character class")
+                ranges.append((lo, hi))
+            else:
+                ranges.append((lo, lo))
+        pred = self.algebra.from_ranges(ranges)
+        for extra in preds:
+            pred = self.algebra.disj(pred, extra)
+        if self.ignore_case:
+            pred = case_fold(self.algebra, pred)
+        if negated:
+            pred = self.algebra.neg(pred)
+        return self.mk_pred(pred) if not negated else self.builder.pred(pred)
+
+    def parse_class_item(self, preds):
+        """One class member: a codepoint, or None if it was a class
+        escape like ``\\d`` (accumulated into ``preds``)."""
+        ch = self.next()
+        if ch == "\\":
+            esc = self.next()
+            if esc in ESCAPE_CLASSES:
+                preds.append(ESCAPE_CLASSES[esc](self.algebra))
+                return None
+            return self.finish_char_escape(esc)
+        return ord(ch)
+
+
+def parse(builder, pattern):
+    """Parse ``pattern`` into a hash-consed regex owned by ``builder``."""
+    return _Parser(builder, pattern).parse()

@@ -1,0 +1,134 @@
+"""Rendering regexes back to concrete pattern text.
+
+The output uses the paper's surface syntax: ``|`` for union, ``&`` for
+intersection, ``~(...)`` for complement, ``{m,n}`` loops, and character
+classes in ``[...]`` form.  Patterns produced from interval-algebra
+regexes re-parse to the same regex (round-trip tested).
+"""
+
+from repro.regex.ast import (
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+)
+
+_PREC_UNION = 1
+_PREC_INTER = 2
+_PREC_CONCAT = 3
+_PREC_ATOM = 4
+
+_CLASS_ESCAPES = {
+    ord("\n"): "\\n", ord("\r"): "\\r", ord("\t"): "\\t",
+    ord("\f"): "\\f", ord("\v"): "\\v",
+}
+
+_META = set("\\^$.|?*+()[]{}&~")
+
+
+def escape_char(code, in_class=False):
+    """Escape one codepoint for inclusion in a pattern."""
+    if code in _CLASS_ESCAPES:
+        return _CLASS_ESCAPES[code]
+    ch = chr(code)
+    if in_class:
+        if ch in "\\]^-[":
+            return "\\" + ch
+    elif ch in _META:
+        return "\\" + ch
+    if 0x20 <= code <= 0x7E:
+        return ch
+    if code <= 0xFFFF:
+        return "\\u%04x" % code
+    return "\\u{%x}" % code
+
+
+def render_charset(charset, top):
+    """Render an interval-algebra predicate as pattern text."""
+    if charset == top:
+        return "."
+    ranges = charset.ranges
+    if len(ranges) == 1 and ranges[0][0] == ranges[0][1]:
+        return escape_char(ranges[0][0])
+    body = []
+    for lo, hi in ranges:
+        if lo == hi:
+            body.append(escape_char(lo, in_class=True))
+        elif hi == lo + 1:
+            body.append(escape_char(lo, in_class=True) + escape_char(hi, in_class=True))
+        else:
+            body.append(
+                "%s-%s" % (escape_char(lo, in_class=True), escape_char(hi, in_class=True))
+            )
+    return "[%s]" % "".join(body)
+
+
+def render_pred(pred, algebra=None):
+    """Best-effort rendering of a predicate from any algebra."""
+    # interval algebra CharSet
+    ranges = getattr(pred, "ranges", None)
+    if ranges is not None:
+        from repro.alphabet.intervals import CharSet
+
+        if isinstance(pred, CharSet):
+            if algebra is not None:
+                return render_charset(pred, algebra.top)
+            # without the algebra we cannot know top; render literally
+            fake_top = CharSet(((0, 0x10FFFF),))
+            return render_charset(pred, fake_top)
+    if algebra is not None and hasattr(algebra, "chars"):
+        chars = algebra.chars(pred)
+        if len(chars) == len(algebra.alphabet):
+            return "."
+        if len(chars) == 1:
+            return escape_char(ord(chars[0]))
+        return "[%s]" % "".join(escape_char(ord(c), in_class=True) for c in chars)
+    return "<pred>"
+
+
+def to_pattern(regex, algebra=None):
+    """Render ``regex`` as concrete pattern text."""
+
+    def wrap(text, prec, want):
+        return "(" + text + ")" if prec < want else text
+
+    def go(node):
+        """Return (text, precedence-of-top-operator)."""
+        if node.kind == EMPTY:
+            return "[]", _PREC_ATOM  # the empty class: matches nothing
+        if node.kind == EPSILON:
+            return "()", _PREC_ATOM
+        if node.kind == PRED:
+            return render_pred(node.pred, algebra), _PREC_ATOM
+        if node.kind == CONCAT:
+            parts = [wrap(*go(c), want=_PREC_CONCAT) for c in node.children]
+            return "".join(parts), _PREC_CONCAT
+        if node.kind == UNION:
+            parts = [wrap(*go(c), want=_PREC_UNION) for c in node.children]
+            return "|".join(parts), _PREC_UNION
+        if node.kind == INTER:
+            parts = [wrap(*go(c), want=_PREC_INTER) for c in node.children]
+            return "&".join(parts), _PREC_INTER
+        if node.kind == COMPL:
+            # complement binds between & and concatenation in the
+            # parser, so it must be parenthesized under concat/loops
+            inner, _ = go(node.children[0])
+            return "~(%s)" % inner, _PREC_INTER
+        if node.kind == LOOP:
+            body, prec = go(node.children[0])
+            body = wrap(body, prec, _PREC_ATOM)
+            lo, hi = node.lo, node.hi
+            if lo == 0 and hi is INF:
+                suffix = "*"
+            elif lo == 1 and hi is INF:
+                suffix = "+"
+            elif lo == 0 and hi == 1:
+                suffix = "?"
+            elif hi is INF:
+                suffix = "{%d,}" % lo
+            elif lo == hi:
+                suffix = "{%d}" % lo
+            else:
+                suffix = "{%d,%d}" % (lo, hi)
+            return body + suffix, _PREC_ATOM
+        raise AssertionError("unknown node kind %r" % node.kind)
+
+    text, _ = go(regex)
+    return text

@@ -1,0 +1,137 @@
+"""Reference semantics: direct membership evaluation.
+
+This module decides ``s in L(R)`` by structural recursion with
+memoization, *independently* of derivatives or automata.  It exists as
+a trusted oracle for the test suite (derivatives, SBFAs, classical
+automata and the solver are all cross-checked against it) and is also
+used by examples to validate produced witnesses.
+"""
+
+from repro.regex.ast import (
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+)
+
+
+class Matcher:
+    """Membership oracle for one algebra, memoized across calls."""
+
+    def __init__(self, algebra):
+        self.algebra = algebra
+        self._memo = {}
+        self._string = None
+
+    def matches(self, regex, string):
+        """True iff the entire ``string`` is in ``L(regex)``."""
+        if string != self._string:
+            self._memo = {}
+            self._string = string
+        return self._match(regex, 0, len(string))
+
+    def _match(self, node, start, end):
+        key = (node.uid, start, end)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        # Seed with False so ill-founded cycles (impossible for EREs,
+        # but cheap insurance) resolve to non-membership.
+        self._memo[key] = False
+        result = self._compute(node, start, end)
+        self._memo[key] = result
+        return result
+
+    def _compute(self, node, start, end):
+        s = self._string
+        if node.kind == EMPTY:
+            return False
+        if node.kind == EPSILON:
+            return start == end
+        if node.kind == PRED:
+            return end == start + 1 and self.algebra.member(s[start], node.pred)
+        if node.kind == UNION:
+            return any(self._match(c, start, end) for c in node.children)
+        if node.kind == INTER:
+            return all(self._match(c, start, end) for c in node.children)
+        if node.kind == COMPL:
+            return not self._match(node.children[0], start, end)
+        if node.kind == CONCAT:
+            return self._match_seq(node, 0, start, end)
+        if node.kind == LOOP:
+            return self._match_loop(node, start, end)
+        raise AssertionError("unknown node kind %r" % node.kind)
+
+    def _match_seq(self, concat, index, start, end):
+        children = concat.children
+        if index == len(children) - 1:
+            return self._match(children[index], start, end)
+        key = ("seq", concat.uid, index, start, end)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        self._memo[key] = False
+        result = any(
+            self._match(children[index], start, mid)
+            and self._match_seq(concat, index + 1, mid, end)
+            for mid in range(start, end + 1)
+        )
+        self._memo[key] = result
+        return result
+
+    def _match_loop(self, loop, start, end):
+        body = loop.children[0]
+        lo, hi = loop.lo, loop.hi
+        if body.nullable:
+            # eps in L(body) makes powers increasing, so the lower
+            # bound never constrains which strings are matchable.
+            lo = 0
+        if lo == 0 and start == end:
+            return True
+        if hi is INF:
+            if body.nullable:
+                # layers are monotone; fixpoint within #positions steps
+                max_iter = (end - start) + 1
+            else:
+                # every iteration consumes at least one character
+                if lo > end - start:
+                    return False
+                max_iter = end - start
+        else:
+            max_iter = hi
+        # current = positions reachable with exactly j body-iterations
+        current = {start}
+        for j in range(1, max_iter + 1):
+            nxt = set()
+            for p in current:
+                for q in range(p, end + 1):
+                    if self._match(body, p, q):
+                        nxt.add(q)
+            if end in nxt and j >= lo:
+                return True
+            if not nxt or nxt == current:
+                return False
+            current = nxt
+        return False
+
+
+def matches(algebra, regex, string):
+    """Convenience one-shot membership check."""
+    return Matcher(algebra).matches(regex, string)
+
+
+def enumerate_strings(alphabet, max_length):
+    """All strings over ``alphabet`` (a string) up to ``max_length``,
+    shortest first.  Used for exhaustive language comparisons in tests."""
+    level = [""]
+    yield ""
+    for _ in range(max_length):
+        level = [s + c for s in level for c in alphabet]
+        for s in level:
+            yield s
+
+
+def language_upto(algebra, regex, alphabet, max_length):
+    """The finite slice ``L(R) ∩ alphabet^{<=max_length}`` as a set."""
+    matcher = Matcher(algebra)
+    return {
+        s for s in enumerate_strings(alphabet, max_length)
+        if matcher.matches(regex, s)
+    }

@@ -1,0 +1,112 @@
+"""Sound regex simplification beyond the constructor-time laws.
+
+The builder applies the *similarity* rules the paper needs for
+Theorem 7.1 (ACI, units, absorbers, ``~~``).  This module adds a
+bottom-up pass of further language-preserving rewrites that real
+engines use to keep derivative state spaces small:
+
+* syntactic subsumption inside ``&``/``|``: in ``x & (x|y)`` the union
+  is redundant; in ``x | (x&y)`` the intersection is;
+* adjacent loop fusion in concatenations: ``R{a,b} . R{c,d}`` becomes
+  ``R{a+c, b+d}`` (all intermediate counts are achievable), with the
+  special cases ``R . R* = R+`` and ``R* . R* = R*``;
+* complemented-member collapse: a union containing ``x`` and ``~x``
+  is ``.*``, an intersection containing both is ``bottom`` (already a
+  constructor law, re-exposed here after children simplify).
+
+Every rule is language-preserving; the property-based test checks the
+pass against the reference semantics on random EREs.
+"""
+
+from repro.regex.ast import (
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+)
+
+
+def simplify(builder, regex):
+    """One bottom-up simplification pass (idempotent up to fixpoint;
+    call :func:`simplify_fixpoint` to iterate)."""
+    memo = {}
+
+    def go(node):
+        cached = memo.get(node.uid)
+        if cached is not None:
+            return cached
+        result = _rewrite(builder, node, go)
+        memo[node.uid] = result
+        return result
+
+    return go(regex)
+
+
+def simplify_fixpoint(builder, regex, max_rounds=10):
+    """Iterate :func:`simplify` until nothing changes."""
+    current = regex
+    for _ in range(max_rounds):
+        nxt = simplify(builder, current)
+        if nxt is current:
+            return current
+        current = nxt
+    return current
+
+
+def _rewrite(builder, node, go):
+    kind = node.kind
+    if kind in (EMPTY, EPSILON, PRED):
+        return node
+    if kind == COMPL:
+        return builder.compl(go(node.children[0]))
+    if kind == LOOP:
+        return builder.loop(go(node.children[0]), node.lo, node.hi)
+    if kind == CONCAT:
+        return _fuse_concat(builder, [go(c) for c in node.children])
+    children = [go(c) for c in node.children]
+    if kind == UNION:
+        return builder.union(_drop_subsumed(children, UNION))
+    if kind == INTER:
+        return builder.inter(_drop_subsumed(children, INTER))
+    raise AssertionError("unknown node kind %r" % kind)
+
+
+def _as_loop(regex):
+    """View a regex as (body, lo, hi): plain regexes are R{1,1}."""
+    if regex.kind == LOOP:
+        return regex.children[0], regex.lo, regex.hi
+    return regex, 1, 1
+
+
+def _fuse_concat(builder, parts):
+    """Merge adjacent iterations of the same body."""
+    fused = []
+    for part in parts:
+        body, lo, hi = _as_loop(part)
+        if fused:
+            prev_body, prev_lo, prev_hi = _as_loop(fused[-1])
+            if prev_body is body:
+                lo = prev_lo + lo
+                hi = (
+                    INF if (hi is INF or prev_hi is INF) else prev_hi + hi
+                )
+                fused[-1] = builder.loop(body, lo, hi)
+                continue
+        fused.append(part)
+    return builder.concat(fused)
+
+
+def _drop_subsumed(children, kind):
+    """Remove children made redundant by another child.
+
+    For ``&``: ``x`` subsumes any union sibling that contains ``x``
+    (``x & (x|y) = x``).  For ``|``: ``x`` subsumes any intersection
+    sibling that contains ``x`` (``x | (x&y) = x``).
+    """
+    carrier = UNION if kind == INTER else INTER
+    uids = {c.uid for c in children}
+    kept = []
+    for child in children:
+        if child.kind == carrier and any(
+            member.uid in uids for member in child.children
+        ):
+            continue
+        kept.append(child)
+    return kept or children

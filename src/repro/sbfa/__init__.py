@@ -1,0 +1,8 @@
+"""Symbolic Boolean finite automata (Section 7) and the classical
+correspondences of Section 8 (BFA, SAFA)."""
+
+from repro.sbfa.sbfa import SBFA, delta_plus, from_regex
+from repro.sbfa.safa import SAFA
+from repro.sbfa import bfa, boolstate, safa
+
+__all__ = ["SBFA", "SAFA", "delta_plus", "from_regex", "bfa", "safa", "boolstate"]

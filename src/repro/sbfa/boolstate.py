@@ -1,0 +1,140 @@
+"""Boolean combinations of automaton states: the ``B(Q)`` of Section 7.
+
+Combinations are plain nested tuples so they stay hashable and
+printable for any state type::
+
+    ("st", q)  |  ("and", c1, ..., cn)  |  ("or", c1, ..., cn)
+    ("not", c) |  ("true",)  |  ("false",)
+
+``true``/``false`` arise from simplification only; the paper's
+``B(Q)`` is generated from states, with the bottom state ``q_bot``
+playing the role of false and ``~q_bot`` of true.
+"""
+
+TRUE = ("true",)
+FALSE = ("false",)
+
+
+def st(state):
+    """Inject a state into ``B(Q)``."""
+    return ("st", state)
+
+
+def conj(*parts):
+    return _nary("and", parts, absorber=FALSE, unit=TRUE)
+
+
+def disj(*parts):
+    return _nary("or", parts, absorber=TRUE, unit=FALSE)
+
+
+def neg(part):
+    if part == TRUE:
+        return FALSE
+    if part == FALSE:
+        return TRUE
+    if part[0] == "not":
+        return part[1]
+    return ("not", part)
+
+
+def _nary(op, parts, absorber, unit):
+    flat = []
+    for part in parts:
+        if part == absorber:
+            return absorber
+        if part == unit:
+            continue
+        if part[0] == op:
+            flat.extend(part[1:])
+        else:
+            flat.append(part)
+    # dedupe, keep first-seen order for readability
+    seen = set()
+    uniq = []
+    for part in flat:
+        if part not in seen:
+            seen.add(part)
+            uniq.append(part)
+    if not uniq:
+        return unit
+    if len(uniq) == 1:
+        return uniq[0]
+    return (op,) + tuple(uniq)
+
+
+def states_of(combo):
+    """All states mentioned by a combination."""
+    out = set()
+    stack = [combo]
+    while stack:
+        node = stack.pop()
+        tag = node[0]
+        if tag == "st":
+            out.add(node[1])
+        elif tag in ("and", "or"):
+            stack.extend(node[1:])
+        elif tag == "not":
+            stack.append(node[1])
+    return out
+
+
+def evaluate(combo, assignment):
+    """Evaluate under ``assignment``: a callable state -> bool."""
+    tag = combo[0]
+    if tag == "true":
+        return True
+    if tag == "false":
+        return False
+    if tag == "st":
+        return bool(assignment(combo[1]))
+    if tag == "and":
+        return all(evaluate(c, assignment) for c in combo[1:])
+    if tag == "or":
+        return any(evaluate(c, assignment) for c in combo[1:])
+    if tag == "not":
+        return not evaluate(combo[1], assignment)
+    raise ValueError("not a state combination: %r" % (combo,))
+
+
+def map_states(combo, fn):
+    """Rebuild the combination with ``fn`` applied to every state."""
+    tag = combo[0]
+    if tag in ("true", "false"):
+        return combo
+    if tag == "st":
+        return fn(combo[1])
+    if tag == "and":
+        return conj(*(map_states(c, fn) for c in combo[1:]))
+    if tag == "or":
+        return disj(*(map_states(c, fn) for c in combo[1:]))
+    if tag == "not":
+        return neg(map_states(combo[1], fn))
+    raise ValueError("not a state combination: %r" % (combo,))
+
+
+def is_positive(combo):
+    """True iff the combination is in ``B+(Q)`` (no negation)."""
+    tag = combo[0]
+    if tag in ("true", "false", "st"):
+        return True
+    if tag == "not":
+        return False
+    return all(is_positive(c) for c in combo[1:])
+
+
+def pretty(combo, render=repr):
+    tag = combo[0]
+    if tag == "true":
+        return "T"
+    if tag == "false":
+        return "F"
+    if tag == "st":
+        return render(combo[1])
+    if tag == "and":
+        return "(" + " & ".join(pretty(c, render) for c in combo[1:]) + ")"
+    if tag == "or":
+        return "(" + " | ".join(pretty(c, render) for c in combo[1:]) + ")"
+    if tag == "not":
+        return "~" + pretty(combo[1], render)
+    raise ValueError("not a state combination: %r" % (combo,))

@@ -1,0 +1,14 @@
+"""SMT-LIB 2.6 subset: reader, writer and script interpreter for
+QF_S-style string/regex benchmarks."""
+
+from repro.smtlib.sexpr import StrLit, encode_string, read_all, tokenize
+from repro.smtlib.parser import Script, parse_script
+from repro.smtlib.writer import formula_to_smtlib, regex_to_smtlib, script_text
+from repro.smtlib.interp import run_file, run_script
+
+__all__ = [
+    "StrLit", "tokenize", "read_all", "encode_string",
+    "Script", "parse_script",
+    "regex_to_smtlib", "formula_to_smtlib", "script_text",
+    "run_script", "run_file",
+]

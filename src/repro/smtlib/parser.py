@@ -1,0 +1,230 @@
+"""SMT-LIB 2.6 subset parser: QF_S / QF_SLIA-style scripts with
+string and regular-expression constraints.
+
+Supported commands: ``set-logic``, ``set-info``, ``set-option``
+(recorded/ignored), ``declare-const``, ``declare-fun`` (0-ary),
+``assert``, ``check-sat``, ``get-model``, ``exit``.
+
+Supported term language: the Boolean connectives; ``str.in_re``,
+``str.len`` comparisons against integer literals, string equality with
+literals, ``str.contains``/``str.prefixof``/``str.suffixof`` with
+literal arguments; and the full ``re.*`` regex algebra including
+``re.inter``, ``re.comp``, ``re.diff``, ``(_ re.loop i j)`` and
+``(_ re.^ n)`` — the operators the paper's benchmarks exercise.
+"""
+
+from repro.errors import SmtLibError
+from repro.regex.ast import INF
+from repro.solver import formula as F
+from repro.smtlib.sexpr import StrLit, read_all
+
+
+class Script:
+    """A parsed script: declarations, assertions, commands."""
+
+    def __init__(self):
+        self.logic = None
+        self.variables = []
+        self.assertions = []
+        self.commands = []     # ordered command tags, e.g. "check-sat"
+        self.info = {}
+
+    @property
+    def formula(self):
+        """The conjunction of all assertions."""
+        if not self.assertions:
+            return F.TRUE
+        if len(self.assertions) == 1:
+            return self.assertions[0]
+        return F.And(tuple(self.assertions))
+
+    def expected_status(self):
+        """The ``:status`` annotation (sat/unsat), if present."""
+        return self.info.get(":status")
+
+
+def parse_script(builder, text):
+    """Parse SMT-LIB ``text`` into a :class:`Script`."""
+    parser = _ScriptParser(builder)
+    for form in read_all(text):
+        parser.command(form)
+    return parser.script
+
+
+class _ScriptParser:
+    def __init__(self, builder):
+        self.builder = builder
+        self.script = Script()
+        self.vars = set()
+
+    def command(self, form):
+        if not isinstance(form, list) or not form:
+            raise SmtLibError("malformed command: %r" % (form,))
+        head = form[0]
+        if head == "set-logic":
+            self.script.logic = form[1]
+        elif head == "set-info":
+            if len(form) >= 3:
+                value = form[2]
+                self.script.info[form[1]] = (
+                    value.value if isinstance(value, StrLit) else value
+                )
+        elif head == "set-option":
+            pass
+        elif head in ("declare-const", "declare-fun"):
+            name = form[1]
+            sort = form[-1]
+            if sort != "String":
+                raise SmtLibError("only String variables are supported, got %r" % sort)
+            if head == "declare-fun" and form[2] != []:
+                raise SmtLibError("only 0-ary functions are supported")
+            self.vars.add(name)
+            self.script.variables.append(name)
+        elif head == "assert":
+            self.script.assertions.append(self.term(form[1]))
+        elif head in ("check-sat", "get-model", "exit", "push", "pop", "reset"):
+            self.script.commands.append(head)
+        else:
+            raise SmtLibError("unsupported command %r" % head)
+
+    # -- Boolean terms --------------------------------------------------------
+
+    def term(self, form):
+        if form == "true":
+            return F.TRUE
+        if form == "false":
+            return F.FALSE
+        if not isinstance(form, list) or not form:
+            raise SmtLibError("malformed term: %r" % (form,))
+        head = form[0]
+        if head == "and":
+            return F.And(tuple(self.term(t) for t in form[1:]))
+        if head == "or":
+            return F.Or(tuple(self.term(t) for t in form[1:]))
+        if head == "not":
+            return F.Not(self.term(form[1]))
+        if head == "=>":
+            parts = [self.term(t) for t in form[1:]]
+            result = parts[-1]
+            for premise in reversed(parts[:-1]):
+                result = F.Or((F.Not(premise), result))
+            return result
+        if head == "str.in_re" or head == "str.in.re":
+            var = self.var(form[1])
+            return F.InRe(var, self.regex(form[2]))
+        if head in ("=", "<", "<=", ">", ">=", "distinct"):
+            return self.comparison(head, form[1], form[2])
+        if head == "str.contains":
+            return F.Contains(self.var(form[1]), self.literal(form[2]))
+        if head == "str.prefixof":
+            return F.PrefixOf(self.literal(form[1]), self.var(form[2]))
+        if head == "str.suffixof":
+            return F.SuffixOf(self.literal(form[1]), self.var(form[2]))
+        raise SmtLibError("unsupported term %r" % head)
+
+    def comparison(self, op, lhs, rhs):
+        # (= var "lit") or (= "lit" var)
+        if op in ("=", "distinct") and (
+            isinstance(lhs, StrLit) or isinstance(rhs, StrLit)
+        ):
+            if isinstance(lhs, StrLit):
+                lhs, rhs = rhs, lhs
+            atom = F.EqConst(self.var(lhs), rhs.value)
+            return F.Not(atom) if op == "distinct" else atom
+        # length comparisons: one side (str.len x), other an integer
+        left_len = self.try_len(lhs)
+        right_len = self.try_len(rhs)
+        if left_len is not None and _is_int(rhs):
+            return self.len_atom(op, left_len, int(rhs))
+        if right_len is not None and _is_int(lhs):
+            return self.len_atom(_flip(op), right_len, int(lhs))
+        raise SmtLibError("unsupported comparison (%s %r %r)" % (op, lhs, rhs))
+
+    def len_atom(self, op, var, bound):
+        if op == "distinct":
+            op = "!="
+        return F.LenCmp(var, op, bound)
+
+    def try_len(self, form):
+        if isinstance(form, list) and len(form) == 2 and form[0] in (
+            "str.len", "str.length",
+        ):
+            return self.var(form[1])
+        return None
+
+    def var(self, form):
+        if isinstance(form, str) and form in self.vars:
+            return form
+        raise SmtLibError("expected a declared String variable, got %r" % (form,))
+
+    def literal(self, form):
+        if isinstance(form, StrLit):
+            return form.value
+        raise SmtLibError("expected a string literal, got %r" % (form,))
+
+    # -- regex terms ----------------------------------------------------------------
+
+    def regex(self, form):
+        builder = self.builder
+        if form == "re.none" or form == "re.nostr":
+            return builder.empty
+        if form == "re.all":
+            return builder.full
+        if form == "re.allchar":
+            return builder.dot
+        if form == "re.empty":
+            return builder.epsilon
+        if not isinstance(form, list) or not form:
+            raise SmtLibError("malformed regex term: %r" % (form,))
+        head = form[0]
+        if head == "str.to_re" or head == "str.to.re":
+            return builder.string(self.literal(form[1]))
+        if head == "re.++":
+            return builder.concat([self.regex(t) for t in form[1:]])
+        if head == "re.union":
+            return builder.union([self.regex(t) for t in form[1:]])
+        if head == "re.inter":
+            return builder.inter([self.regex(t) for t in form[1:]])
+        if head == "re.comp":
+            return builder.compl(self.regex(form[1]))
+        if head == "re.diff":
+            result = self.regex(form[1])
+            for term in form[2:]:
+                result = builder.diff(result, self.regex(term))
+            return result
+        if head == "re.*":
+            return builder.star(self.regex(form[1]))
+        if head == "re.+":
+            return builder.plus(self.regex(form[1]))
+        if head == "re.opt":
+            return builder.opt(self.regex(form[1]))
+        if head == "re.range":
+            lo = self.literal(form[1])
+            hi = self.literal(form[2])
+            if len(lo) != 1 or len(hi) != 1 or lo > hi:
+                # SMT-LIB: an invalid range denotes the empty language
+                return builder.empty
+            return builder.ranges([(lo, hi)])
+        if isinstance(head, list) and head and head[0] == "_":
+            op = head[1]
+            if op == "re.loop":
+                lo, hi = int(head[2]), int(head[3])
+                if hi < lo:
+                    return builder.empty
+                return builder.loop(self.regex(form[1]), lo, hi)
+            if op == "re.^":
+                n = int(head[2])
+                return builder.loop(self.regex(form[1]), n, n)
+        raise SmtLibError("unsupported regex operator %r" % (head,))
+
+
+def _is_int(form):
+    if not isinstance(form, str):
+        return False
+    body = form[1:] if form.startswith("-") else form
+    return body.isdigit()
+
+
+def _flip(op):
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=",
+            "distinct": "distinct"}[op]

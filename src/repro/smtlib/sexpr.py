@@ -1,0 +1,126 @@
+"""S-expression reader for the SMT-LIB subset.
+
+Produces nested Python lists whose leaves are either plain token
+strings or :class:`StrLit` wrappers for string literals (so ``"abc"``
+is distinguishable from the symbol ``abc``).
+"""
+
+from repro.errors import SmtLibError
+
+
+class StrLit:
+    """A decoded SMT-LIB string literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, StrLit) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("strlit", self.value))
+
+    def __repr__(self):
+        return "StrLit(%r)" % self.value
+
+
+def tokenize(text):
+    """Yield tokens: '(', ')', symbols, and StrLit values."""
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+        elif ch == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch in "()":
+            yield ch
+            i += 1
+        elif ch == '"':
+            value, i = _read_string(text, i)
+            yield StrLit(value)
+        elif ch == "|":
+            j = text.find("|", i + 1)
+            if j < 0:
+                raise SmtLibError("unterminated quoted symbol")
+            yield text[i + 1:j]
+            i = j + 1
+        else:
+            j = i
+            while j < n and text[j] not in ' \t\r\n();"|':
+                j += 1
+            yield text[i:j]
+            i = j
+
+
+def _read_string(text, start):
+    """Decode an SMT-LIB string literal starting at ``start``.
+
+    Handles quote doubling (``""``) and the SMT-LIB 2.6 unicode escapes
+    ``\\u{HEX}`` and ``\\uXXXX``.
+    """
+    out = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == '"':
+            if i + 1 < n and text[i + 1] == '"':
+                out.append('"')
+                i += 2
+                continue
+            return "".join(out), i + 1
+        if ch == "\\" and i + 1 < n and text[i + 1] == "u":
+            if i + 2 < n and text[i + 2] == "{":
+                j = text.find("}", i + 3)
+                if j < 0:
+                    raise SmtLibError("unterminated \\u{...} escape")
+                out.append(chr(int(text[i + 3:j], 16)))
+                i = j + 1
+                continue
+            if i + 6 <= n:
+                try:
+                    out.append(chr(int(text[i + 2:i + 6], 16)))
+                    i += 6
+                    continue
+                except ValueError:
+                    pass
+        out.append(ch)
+        i += 1
+    raise SmtLibError("unterminated string literal")
+
+
+def read_all(text):
+    """Parse a whole script into a list of s-expressions."""
+    stack = [[]]
+    for token in tokenize(text):
+        if token == "(":
+            stack.append([])
+        elif token == ")":
+            if len(stack) == 1:
+                raise SmtLibError("unbalanced ')'")
+            done = stack.pop()
+            stack[-1].append(done)
+        else:
+            stack[-1].append(token)
+    if len(stack) != 1:
+        raise SmtLibError("unbalanced '('")
+    return stack[0]
+
+
+def encode_string(value):
+    """Encode a Python string as an SMT-LIB string literal."""
+    out = ['"']
+    for ch in value:
+        if ch == '"':
+            out.append('""')
+        elif 0x20 <= ord(ch) <= 0x7E:
+            out.append(ch)
+        else:
+            out.append("\\u{%x}" % ord(ch))
+    out.append('"')
+    return "".join(out)

@@ -1,0 +1,117 @@
+"""Serializing formulas and regexes back to SMT-LIB text.
+
+The benchmark generators emit ``.smt2`` files through this module, and
+the test suite round-trips them through the parser.
+"""
+
+from repro.errors import SmtLibError
+from repro.regex.ast import (
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+)
+from repro.solver import formula as F
+from repro.smtlib.sexpr import encode_string
+
+
+def regex_to_smtlib(regex, algebra=None):
+    """Render a regex as an SMT-LIB ``re``-sorted term."""
+    kind = regex.kind
+    if kind == EMPTY:
+        return "re.none"
+    if kind == EPSILON:
+        return '(str.to_re "")'
+    if kind == PRED:
+        return _pred_term(regex.pred, algebra)
+    if kind == CONCAT:
+        return "(re.++ %s)" % " ".join(
+            regex_to_smtlib(c, algebra) for c in regex.children
+        )
+    if kind == UNION:
+        return "(re.union %s)" % " ".join(
+            regex_to_smtlib(c, algebra) for c in regex.children
+        )
+    if kind == INTER:
+        return "(re.inter %s)" % " ".join(
+            regex_to_smtlib(c, algebra) for c in regex.children
+        )
+    if kind == COMPL:
+        return "(re.comp %s)" % regex_to_smtlib(regex.children[0], algebra)
+    if kind == LOOP:
+        body = regex_to_smtlib(regex.children[0], algebra)
+        lo, hi = regex.lo, regex.hi
+        if lo == 0 and hi is INF:
+            return "(re.* %s)" % body
+        if lo == 1 and hi is INF:
+            return "(re.+ %s)" % body
+        if lo == 0 and hi == 1:
+            return "(re.opt %s)" % body
+        if hi is INF:
+            # R{n,} = R{n} . R*
+            return "(re.++ ((_ re.^ %d) %s) (re.* %s))" % (lo, body, body)
+        return "((_ re.loop %d %d) %s)" % (lo, hi, body)
+    raise AssertionError("unknown node kind %r" % kind)
+
+
+def _pred_term(pred, algebra):
+    ranges = getattr(pred, "ranges", None)
+    if ranges is None and algebra is not None and hasattr(algebra, "chars"):
+        chars = algebra.chars(pred)
+        if len(chars) == len(algebra.alphabet):
+            return "re.allchar"
+        ranges = [(ord(c), ord(c)) for c in chars]
+    if ranges is None:
+        raise SmtLibError("cannot serialize predicate %r" % (pred,))
+    if algebra is not None and pred == algebra.top:
+        return "re.allchar"
+    parts = []
+    for lo, hi in ranges:
+        if lo == hi:
+            parts.append("(str.to_re %s)" % encode_string(chr(lo)))
+        else:
+            parts.append(
+                "(re.range %s %s)" % (encode_string(chr(lo)), encode_string(chr(hi)))
+            )
+    if not parts:
+        return "re.none"
+    if len(parts) == 1:
+        return parts[0]
+    return "(re.union %s)" % " ".join(parts)
+
+
+def formula_to_smtlib(node, algebra=None):
+    """Render a formula as an SMT-LIB Bool term."""
+    if isinstance(node, F.BoolConst):
+        return "true" if node.value else "false"
+    if isinstance(node, F.And):
+        return "(and %s)" % " ".join(formula_to_smtlib(c, algebra) for c in node.children)
+    if isinstance(node, F.Or):
+        return "(or %s)" % " ".join(formula_to_smtlib(c, algebra) for c in node.children)
+    if isinstance(node, F.Not):
+        return "(not %s)" % formula_to_smtlib(node.child, algebra)
+    if isinstance(node, F.InRe):
+        return "(str.in_re %s %s)" % (node.var, regex_to_smtlib(node.regex, algebra))
+    if isinstance(node, F.LenCmp):
+        op = node.op
+        if op == "!=":
+            return "(not (= (str.len %s) %d))" % (node.var, node.bound)
+        return "(%s (str.len %s) %d)" % (op, node.var, node.bound)
+    if isinstance(node, F.EqConst):
+        return "(= %s %s)" % (node.var, encode_string(node.value))
+    if isinstance(node, F.Contains):
+        return "(str.contains %s %s)" % (node.var, encode_string(node.value))
+    if isinstance(node, F.PrefixOf):
+        return "(str.prefixof %s %s)" % (encode_string(node.value), node.var)
+    if isinstance(node, F.SuffixOf):
+        return "(str.suffixof %s %s)" % (encode_string(node.value), node.var)
+    raise SmtLibError("cannot serialize formula node %r" % (node,))
+
+
+def script_text(formula, algebra=None, status=None, logic="QF_S"):
+    """A complete ``.smt2`` script asserting ``formula``."""
+    lines = ["(set-logic %s)" % logic]
+    if status is not None:
+        lines.append("(set-info :status %s)" % status)
+    for var in sorted(F.variables(formula)):
+        lines.append("(declare-const %s String)" % var)
+    lines.append("(assert %s)" % formula_to_smtlib(formula, algebra))
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,81 @@
+"""An incremental solving context with push/pop scopes.
+
+Models the way the regex solver lives inside an SMT solver (paper §5):
+assertions arrive incrementally, logical scopes are pushed and popped,
+and — crucially — the regex graph ``G`` with its Dead/Alive knowledge
+persists *across* scopes, because deadness of a regex is a property of
+the regex alone, independent of the current assertions.  Popping a
+scope therefore never throws away derivative work.
+"""
+
+from repro.solver.result import Budget
+from repro.solver.smt import SmtSolver
+from repro.solver import formula as F
+
+
+class SolverContext:
+    """Incremental assert / push / pop / check-sat interface."""
+
+    def __init__(self, builder, regex_engine=None):
+        self.builder = builder
+        # one shared SmtSolver: its RegexSolver keeps the persistent
+        # graph G across every scope and query
+        self._smt = SmtSolver(builder, regex_engine)
+        self._stack = [[]]
+        #: number of check-sat calls answered (for tests/stats)
+        self.checks = 0
+
+    # -- assertion stack ----------------------------------------------------
+
+    def assert_formula(self, formula):
+        """Add an assertion to the current scope."""
+        self._stack[-1].append(formula)
+
+    def push(self):
+        """Open a new scope."""
+        self._stack.append([])
+
+    def pop(self):
+        """Discard the most recent scope (but keep derivative work)."""
+        if len(self._stack) == 1:
+            raise IndexError("cannot pop the outermost scope")
+        self._stack.pop()
+
+    @property
+    def scope_depth(self):
+        return len(self._stack) - 1
+
+    def assertions(self):
+        """All live assertions, outermost scope first."""
+        return [f for scope in self._stack for f in scope]
+
+    # -- solving -----------------------------------------------------------------
+
+    def check_sat(self, budget=None):
+        """Decide the conjunction of all live assertions."""
+        self.checks += 1
+        live = self.assertions()
+        if not live:
+            return self._smt.solve(F.TRUE, budget=budget or Budget())
+        formula = live[0] if len(live) == 1 else F.And(tuple(live))
+        return self._smt.solve(formula, budget=budget or Budget())
+
+    def check_sat_assuming(self, extra, budget=None):
+        """Check with temporary extra assumptions (no scope churn)."""
+        self.push()
+        try:
+            for formula in extra:
+                self.assert_formula(formula)
+            return self.check_sat(budget)
+        finally:
+            self.pop()
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def graph_stats(self):
+        """The persistent regex graph's counters (grows monotonically
+        across scopes — the point of Section 5's global ``G``)."""
+        engine = self._smt.engine
+        graph = getattr(engine, "graph", None)
+        return graph.stats() if graph is not None else {}

@@ -1,0 +1,182 @@
+"""The derivative-based decision procedure (paper, Section 5).
+
+:class:`RegexSolver` decides emptiness/satisfiability of extended
+regexes by lazily unfolding symbolic derivatives, maintaining the
+persistent reachability graph ``G`` for dead-end detection, and
+producing witness strings from the clean conditional trees' branch
+guards.  Theorem 5.2: for a decidable character theory the procedure
+answers ``unsat`` iff ``L(r)`` is empty (our character algebras are
+decidable, so the only source of ``unknown`` is an explicit budget).
+"""
+
+from collections import deque
+
+from repro.derivatives.condtree import DerivativeEngine
+from repro.errors import BudgetExceeded
+from repro.solver.graph import RegexGraph
+from repro.solver.result import Budget, SAT, SolverResult, UNKNOWN, UNSAT
+
+
+class RegexSolver:
+    """Satisfiability, containment and equivalence of EREs.
+
+    The solver owns a :class:`DerivativeEngine` and a persistent
+    :class:`RegexGraph`; both accumulate knowledge across queries, so
+    related queries get faster, exactly as dZ3's global graph does.
+    """
+
+    def __init__(self, builder, strategy="dfs"):
+        self.builder = builder
+        self.algebra = builder.algebra
+        self.engine = DerivativeEngine(builder)
+        self.graph = RegexGraph(is_final=lambda r: r.nullable)
+        if strategy not in ("dfs", "bfs"):
+            raise ValueError("strategy must be 'dfs' or 'bfs'")
+        # dZ3's unfolding is model-guided depth-first: it commits to one
+        # branch of each case split and backtracks, so satisfiable deep
+        # instances resolve without enumerating whole breadth levels.
+        # BFS yields shortest witnesses; DFS is the default.
+        self.strategy = strategy
+
+    # -- public queries -------------------------------------------------------
+
+    def is_satisfiable(self, regex, budget=None):
+        """Is ``L(regex)`` nonempty?  Returns a result with a witness
+        string when satisfiable."""
+        budget = budget or Budget()
+        try:
+            witness = self._explore(regex, budget)
+        except BudgetExceeded as exc:
+            return SolverResult(
+                UNKNOWN, reason=str(exc), stats=self._stats(budget)
+            )
+        if witness is None:
+            return SolverResult(UNSAT, stats=self._stats(budget))
+        return SolverResult(SAT, witness=witness, stats=self._stats(budget))
+
+    def is_empty(self, regex, budget=None):
+        """Is ``L(regex)`` empty?  (The complement view of sat.)"""
+        result = self.is_satisfiable(regex, budget)
+        if result.is_sat:
+            return SolverResult(UNSAT, witness=result.witness, stats=result.stats)
+        if result.is_unsat:
+            return SolverResult(SAT, stats=result.stats)
+        return result
+
+    def contains(self, sub, sup, budget=None):
+        """Language containment ``L(sub) ⊆ L(sup)``.
+
+        Reduces to emptiness of ``sub & ~sup``; a witness (when the
+        containment fails) is a string in the difference.
+        """
+        difference = self.builder.inter([sub, self.builder.compl(sup)])
+        result = self.is_satisfiable(difference, budget)
+        if result.is_sat:
+            return SolverResult(
+                UNSAT, witness=result.witness, stats=result.stats,
+                reason="containment counterexample",
+            )
+        if result.is_unsat:
+            return SolverResult(SAT, stats=result.stats)
+        return result
+
+    def equivalent(self, left, right, budget=None):
+        """Language equivalence, via the symmetric difference
+        ``(left & ~right) | (right & ~left)`` (Section 5's reduction of
+        inequivalence constraints to membership)."""
+        builder = self.builder
+        sym_diff = builder.union([
+            builder.inter([left, builder.compl(right)]),
+            builder.inter([right, builder.compl(left)]),
+        ])
+        result = self.is_satisfiable(sym_diff, budget)
+        if result.is_sat:
+            return SolverResult(
+                UNSAT, witness=result.witness, stats=result.stats,
+                reason="distinguishing string",
+            )
+        if result.is_unsat:
+            return SolverResult(SAT, stats=result.stats)
+        return result
+
+    def membership(self, string, regex):
+        """Concrete membership via iterated derivatives (no search)."""
+        return self.engine.matches(regex, string)
+
+    # -- exploration -----------------------------------------------------------
+
+    def _explore(self, root, budget):
+        """Lazy unfolding: BFS over derivative successors.
+
+        Returns a witness string if a nullable regex is reachable, or
+        None once the reachable space is exhausted (root is dead).
+        """
+        graph = self.graph
+        graph.add_vertex(root)
+        if root.nullable:
+            return ""
+        # the bot rule: a regex already proved dead is unsat immediately
+        if graph.is_dead(root):
+            return None
+        parent = {root: None}
+        queue = deque([root])
+        while queue:
+            budget.tick()
+            vertex = queue.popleft() if self.strategy == "bfs" else queue.pop()
+            if graph.is_dead(vertex):
+                continue
+            edges = self._edges(vertex)
+            all_targets = set()
+            for _, successor_set in edges:
+                all_targets |= successor_set
+            graph.update(vertex, all_targets)
+            for guard, successor_set in edges:
+                char = self.algebra.pick(guard)
+                for target in successor_set:
+                    if target not in parent:
+                        parent[target] = (vertex, char)
+                        if target.nullable:
+                            return self._reconstruct(parent, target)
+                        queue.append(target)
+        return None
+
+    def _edges(self, vertex):
+        """Group the derivative tree of ``vertex`` into transitions.
+
+        Returns ``(guard, successors)`` pairs, one per non-bottom leaf
+        of the clean conditional tree; the guards are satisfiable and
+        partition the character space.  ``bottom`` never appears in
+        leaf sets; ``.*`` does (it is a final, alive vertex — dropping
+        it, as ``Q()`` does for state counting, would break soundness
+        of dead-end detection).
+        """
+        algebra = self.algebra
+        tree = self.engine.derivative(vertex)
+        out = []
+
+        def walk(node, path):
+            if node.is_leaf:
+                if node.regexes:
+                    out.append((path, set(node.regexes)))
+                return
+            walk(node.then, algebra.conj(path, node.pred))
+            walk(node.other, algebra.conj(path, algebra.neg(node.pred)))
+
+        walk(tree, algebra.top)
+        return out
+
+    def _reconstruct(self, parent, target):
+        chars = []
+        node = target
+        while parent[node] is not None:
+            node, char = parent[node]
+            chars.append(char)
+        return "".join(reversed(chars))
+
+    def _stats(self, budget):
+        stats = self.graph.stats()
+        stats["fuel_used"] = budget.fuel_used
+        stats["elapsed"] = budget.elapsed
+        stats["interned_regexes"] = self.builder.interned_count
+        stats["sat_checks"] = self.engine.sat_checks
+        return stats

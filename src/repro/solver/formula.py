@@ -1,0 +1,270 @@
+"""Quantifier-free string formulas: the fragment the mini-SMT layer
+solves.
+
+Atoms are regex membership (``str.in_re``), length comparisons
+(``str.len``), equality with a string literal, and the derived
+prefix/suffix/contains predicates — every one reducible to a regex
+constraint on a single variable, which is exactly the reduction the
+paper applies before running the derivative-based procedure
+(Section 2: conjunction becomes ``&``, negation becomes ``~``).
+"""
+
+from repro.errors import SmtLibError
+from repro.regex.ast import INF
+
+# -- formula nodes -----------------------------------------------------------
+
+
+class Formula:
+    """Base class; subclasses are immutable value objects."""
+
+    def __and__(self, other):
+        return And((self, other))
+
+    def __or__(self, other):
+        return Or((self, other))
+
+    def __invert__(self):
+        return Not(self)
+
+
+class BoolConst(Formula):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = bool(value)
+
+    def __repr__(self):
+        return "true" if self.value else "false"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+class And(Formula):
+    __slots__ = ("children",)
+
+    def __init__(self, children):
+        self.children = tuple(children)
+
+    def __repr__(self):
+        return "(and %s)" % " ".join(map(repr, self.children))
+
+
+class Or(Formula):
+    __slots__ = ("children",)
+
+    def __init__(self, children):
+        self.children = tuple(children)
+
+    def __repr__(self):
+        return "(or %s)" % " ".join(map(repr, self.children))
+
+
+class Not(Formula):
+    __slots__ = ("child",)
+
+    def __init__(self, child):
+        self.child = child
+
+    def __repr__(self):
+        return "(not %r)" % (self.child,)
+
+
+class Atom(Formula):
+    """Base class of atoms; each knows the variable it constrains and
+    how to express itself as a regex over that variable."""
+
+    var = None
+
+    def to_regex(self, builder):
+        raise NotImplementedError
+
+
+class InRe(Atom):
+    """``(str.in_re var regex)``."""
+
+    __slots__ = ("var", "regex")
+
+    def __init__(self, var, regex):
+        self.var = var
+        self.regex = regex
+
+    def to_regex(self, builder):
+        return self.regex
+
+    def __repr__(self):
+        return "(str.in_re %s %r)" % (self.var, self.regex)
+
+
+_LEN_OPS = {"=", "<", "<=", ">", ">=", "!="}
+
+
+class LenCmp(Atom):
+    """``(op (str.len var) bound)`` for a nonnegative integer bound."""
+
+    __slots__ = ("var", "op", "bound")
+
+    def __init__(self, var, op, bound):
+        if op not in _LEN_OPS:
+            raise SmtLibError("unsupported length comparison %r" % op)
+        self.var = var
+        self.op = op
+        self.bound = bound
+
+    def to_regex(self, builder):
+        op, n = self.op, self.bound
+        if op == "=":
+            if n < 0:
+                return builder.empty
+            return builder.any_length(n, n)
+        if op == "<":
+            op, n = "<=", n - 1
+        if op == ">":
+            op, n = ">=", n + 1
+        if op == "<=":
+            if n < 0:
+                return builder.empty
+            return builder.any_length(0, n)
+        if op == ">=":
+            return builder.any_length(max(n, 0), INF)
+        # !=
+        if n < 0:
+            return builder.full
+        return builder.union([
+            builder.any_length(0, n - 1) if n > 0 else builder.empty,
+            builder.any_length(n + 1, INF),
+        ])
+
+    def __repr__(self):
+        return "(%s (str.len %s) %d)" % (self.op, self.var, self.bound)
+
+
+class EqConst(Atom):
+    """``(= var "literal")``."""
+
+    __slots__ = ("var", "value")
+
+    def __init__(self, var, value):
+        self.var = var
+        self.value = value
+
+    def to_regex(self, builder):
+        return builder.string(self.value)
+
+    def __repr__(self):
+        return '(= %s "%s")' % (self.var, self.value)
+
+
+class Contains(Atom):
+    """``(str.contains var "literal")``."""
+
+    __slots__ = ("var", "value")
+
+    def __init__(self, var, value):
+        self.var = var
+        self.value = value
+
+    def to_regex(self, builder):
+        return builder.contains(builder.string(self.value))
+
+    def __repr__(self):
+        return '(str.contains %s "%s")' % (self.var, self.value)
+
+
+class PrefixOf(Atom):
+    """``(str.prefixof "literal" var)``."""
+
+    __slots__ = ("var", "value")
+
+    def __init__(self, value, var):
+        self.var = var
+        self.value = value
+
+    def to_regex(self, builder):
+        return builder.starts_with(builder.string(self.value))
+
+    def __repr__(self):
+        return '(str.prefixof "%s" %s)' % (self.value, self.var)
+
+
+class SuffixOf(Atom):
+    """``(str.suffixof "literal" var)``."""
+
+    __slots__ = ("var", "value")
+
+    def __init__(self, value, var):
+        self.var = var
+        self.value = value
+
+    def to_regex(self, builder):
+        return builder.ends_with(builder.string(self.value))
+
+    def __repr__(self):
+        return '(str.suffixof "%s" %s)' % (self.value, self.var)
+
+
+# -- traversals ----------------------------------------------------------------
+
+
+def variables(formula):
+    """All string variables mentioned by a formula."""
+    out = set()
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Atom):
+            out.add(node.var)
+        elif isinstance(node, And) or isinstance(node, Or):
+            stack.extend(node.children)
+        elif isinstance(node, Not):
+            stack.append(node.child)
+    return out
+
+
+def atoms(formula):
+    """All atoms of a formula (positive and negative occurrences)."""
+    out = []
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Atom):
+            out.append(node)
+        elif isinstance(node, (And, Or)):
+            stack.extend(node.children)
+        elif isinstance(node, Not):
+            stack.append(node.child)
+    return out
+
+
+def nnf(formula):
+    """Negation normal form: negations pushed onto atoms."""
+    return _nnf(formula, positive=True)
+
+
+def _nnf(node, positive):
+    if isinstance(node, BoolConst):
+        return TRUE if node.value == positive else FALSE
+    if isinstance(node, Not):
+        return _nnf(node.child, not positive)
+    if isinstance(node, And):
+        children = tuple(_nnf(c, positive) for c in node.children)
+        return And(children) if positive else Or(children)
+    if isinstance(node, Or):
+        children = tuple(_nnf(c, positive) for c in node.children)
+        return Or(children) if positive else And(children)
+    if isinstance(node, Atom):
+        return node if positive else Not(node)
+    raise SmtLibError("not a formula: %r" % (node,))
+
+
+def is_boolean_combination(formula):
+    """True iff some variable carries more than one regex membership
+    constraint — the paper's criterion for classifying a benchmark as
+    *Boolean* (length/equality side constraints do not count)."""
+    counts = {}
+    for atom in atoms(formula):
+        if isinstance(atom, InRe):
+            counts[atom.var] = counts.get(atom.var, 0) + 1
+    return any(n > 1 for n in counts.values())

@@ -1,0 +1,80 @@
+"""Solver results and resource budgets."""
+
+import time
+
+from repro.errors import BudgetExceeded
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+class Budget:
+    """A deterministic fuel counter plus an optional wall-clock limit.
+
+    Fuel makes "timeouts" reproducible across machines: a unit of fuel
+    is one unit of solver work (one state expansion, one rule firing).
+    ``None`` means unlimited.
+    """
+
+    def __init__(self, fuel=None, seconds=None):
+        self.fuel = fuel
+        self.fuel_used = 0
+        self.seconds = seconds
+        self.started = time.perf_counter()
+
+    def tick(self, amount=1):
+        """Consume fuel; raise :class:`BudgetExceeded` when exhausted."""
+        self.fuel_used += amount
+        if self.fuel is not None and self.fuel_used > self.fuel:
+            raise BudgetExceeded(
+                "fuel exhausted", fuel_used=self.fuel_used, elapsed=self.elapsed
+            )
+        if self.seconds is not None and self.fuel_used % 64 == 0:
+            if self.elapsed > self.seconds:
+                raise BudgetExceeded(
+                    "wall clock exceeded", fuel_used=self.fuel_used,
+                    elapsed=self.elapsed,
+                )
+
+    @property
+    def elapsed(self):
+        return time.perf_counter() - self.started
+
+    def remaining(self):
+        if self.fuel is None:
+            return None
+        return max(self.fuel - self.fuel_used, 0)
+
+
+class SolverResult:
+    """Outcome of a satisfiability-style query."""
+
+    __slots__ = ("status", "witness", "model", "stats", "reason")
+
+    def __init__(self, status, witness=None, model=None, stats=None, reason=None):
+        self.status = status
+        self.witness = witness
+        self.model = model
+        self.stats = stats or {}
+        self.reason = reason
+
+    @property
+    def is_sat(self):
+        return self.status == SAT
+
+    @property
+    def is_unsat(self):
+        return self.status == UNSAT
+
+    @property
+    def is_unknown(self):
+        return self.status == UNKNOWN
+
+    def __repr__(self):
+        extra = ""
+        if self.witness is not None:
+            extra = ", witness=%r" % (self.witness,)
+        if self.reason is not None:
+            extra += ", reason=%r" % (self.reason,)
+        return "SolverResult(%s%s)" % (self.status, extra)

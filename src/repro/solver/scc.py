@@ -1,0 +1,116 @@
+"""Incremental strongly-connected-component maintenance.
+
+A simplified variant of incremental cycle detection / SCC maintenance
+in the spirit of Bender, Fineman, Gilbert and Tarjan (the algorithm the
+paper says dZ3 implements a simplified variant of): components are
+kept in a Union-Find condensation; inserting an edge that closes a
+cycle collapses every component on a path between the endpoints.
+
+Edge insertions are O(size of condensation) in the worst case, which is
+fine for the regex graphs the solver produces (they are small relative
+to the work of computing derivatives).
+"""
+
+from repro.solver.unionfind import UnionFind
+
+
+class IncrementalSCC:
+    """Condensation DAG of a growing directed graph."""
+
+    def __init__(self):
+        self._uf = UnionFind()
+        # adjacency between component representatives; lazily cleaned
+        self._succ = {}
+        self._pred = {}
+
+    def add_node(self, node):
+        """Register a vertex (idempotent)."""
+        if node not in self._uf:
+            self._uf.add(node)
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def find(self, node):
+        """Component representative of ``node``."""
+        return self._uf.find(node)
+
+    def add_edge(self, source, target):
+        """Insert an edge, collapsing components if a cycle appears.
+
+        Returns the set of representatives merged into one component
+        (empty if no cycle was created).
+        """
+        self.add_node(source)
+        self.add_node(target)
+        rs, rt = self._uf.find(source), self._uf.find(target)
+        if rs == rt:
+            return set()
+        # does target's component reach source's component?
+        on_path = self._nodes_reaching(rt, rs)
+        if not on_path:
+            self._succ[rs].add(rt)
+            self._pred[rt].add(rs)
+            return set()
+        # collapse: every component reachable from rt that reaches rs
+        merged = on_path
+        new_rep = rs
+        for rep in merged:
+            new_rep = self._uf.union(new_rep, rep)
+        # rebuild adjacency of the merged component
+        succ = set()
+        pred = set()
+        for rep in merged | {rs}:
+            succ |= self._succ.pop(rep, set())
+            pred |= self._pred.pop(rep, set())
+        succ = {self._uf.find(r) for r in succ} - {new_rep}
+        pred = {self._uf.find(r) for r in pred} - {new_rep}
+        self._succ[new_rep] = succ
+        self._pred[new_rep] = pred
+        # re-point neighbours at the new representative
+        for other, edges in self._succ.items():
+            if other != new_rep:
+                stale = {r for r in edges if self._uf.find(r) == new_rep}
+                if stale:
+                    edges -= stale
+                    edges.add(new_rep)
+        for other, edges in self._pred.items():
+            if other != new_rep:
+                stale = {r for r in edges if self._uf.find(r) == new_rep}
+                if stale:
+                    edges -= stale
+                    edges.add(new_rep)
+        return merged | {rs}
+
+    def _nodes_reaching(self, start, goal):
+        """Components on some path ``start ->* goal`` (empty if none).
+
+        Computed as (reachable from start) ∩ (co-reachable to goal).
+        """
+        forward = self._reach(start, self._succ)
+        if goal not in forward:
+            return set()
+        backward = self._reach(goal, self._pred)
+        return forward & backward
+
+    def _reach(self, start, adjacency):
+        seen = {start}
+        stack = [start]
+        while stack:
+            rep = stack.pop()
+            for nxt in adjacency.get(rep, ()):
+                nxt = self._uf.find(nxt)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def successors(self, node):
+        """Representatives of the successor components of ``node``'s
+        component (self-loops excluded)."""
+        rep = self._uf.find(node)
+        return {self._uf.find(r) for r in self._succ.get(rep, ())} - {rep}
+
+    def same_component(self, a, b):
+        """True iff ``a`` and ``b`` are in one strongly connected
+        component."""
+        return self._uf.same(a, b)

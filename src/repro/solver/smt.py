@@ -1,0 +1,130 @@
+"""Mini-SMT solving of string formulas.
+
+Boolean structure is handled by lazy DNF enumeration; each disjunct is
+a conjunction of literals which — following the paper's reduction —
+collapses *per variable* into one extended regex: positive membership
+contributes the regex, negative membership its complement, and the
+conjunction becomes an intersection.  The resulting single-variable
+ERE goals are then decided by the plugged-in regex engine.
+
+The regex engine is pluggable so that the benchmark harness can run
+the identical front end over our derivative solver and over every
+baseline, isolating the algorithmic comparison the paper makes.
+"""
+
+from itertools import product
+
+from repro.errors import BudgetExceeded, UnsupportedError
+from repro.solver import formula as F
+from repro.solver.engine import RegexSolver
+from repro.solver.result import Budget, SAT, SolverResult, UNKNOWN, UNSAT
+
+
+class SmtSolver:
+    """Solves quantifier-free Boolean combinations of string atoms."""
+
+    def __init__(self, builder, regex_engine=None):
+        self.builder = builder
+        self.engine = regex_engine or RegexSolver(builder)
+
+    def solve(self, formula, budget=None):
+        """Decide satisfiability; on SAT the result carries a model
+        mapping each variable to a witness string."""
+        budget = budget or Budget()
+        saw_unknown = False
+        unknown_reason = None
+        try:
+            for literals in _disjuncts(F.nnf(formula)):
+                outcome = self._solve_conjunct(literals, budget)
+                if outcome is None:
+                    saw_unknown = True
+                    continue
+                if outcome is not False:
+                    return SolverResult(SAT, model=outcome)
+        except BudgetExceeded as exc:
+            return SolverResult(UNKNOWN, reason=str(exc))
+        except UnsupportedError as exc:
+            return SolverResult(UNKNOWN, reason=str(exc))
+        if saw_unknown:
+            return SolverResult(UNKNOWN, reason=unknown_reason or "incomplete branch")
+        return SolverResult(UNSAT)
+
+    def _solve_conjunct(self, literals, budget):
+        """One DNF branch.  Returns a model dict, False (branch unsat),
+        or None (branch undecided)."""
+        builder = self.builder
+        constraints = {}
+        for literal in literals:
+            positive = True
+            atom = literal
+            if isinstance(literal, F.Not):
+                positive = False
+                atom = literal.child
+            if isinstance(atom, F.BoolConst):
+                if atom.value != positive:
+                    return False
+                continue
+            regex = atom.to_regex(builder)
+            if not positive:
+                regex = builder.compl(regex)
+            prev = constraints.get(atom.var)
+            constraints[atom.var] = (
+                regex if prev is None else builder.inter([prev, regex])
+            )
+        model = {}
+        undecided = False
+        for var, regex in constraints.items():
+            result = self.engine.is_satisfiable(regex, budget)
+            if result.is_unsat:
+                return False
+            if result.is_unknown:
+                undecided = True
+                continue
+            model[var] = result.witness
+        if undecided:
+            return None
+        return model
+
+    def check_model(self, formula, model):
+        """Evaluate a candidate model against the formula (used by the
+        test suite to validate produced models end to end)."""
+        from repro.regex.semantics import Matcher
+
+        matcher = Matcher(self.builder.algebra)
+
+        def ev(node):
+            if isinstance(node, F.BoolConst):
+                return node.value
+            if isinstance(node, F.And):
+                return all(ev(c) for c in node.children)
+            if isinstance(node, F.Or):
+                return any(ev(c) for c in node.children)
+            if isinstance(node, F.Not):
+                return not ev(node.child)
+            if isinstance(node, F.Atom):
+                value = model.get(node.var, "")
+                return matcher.matches(node.to_regex(self.builder), value)
+            raise TypeError("not a formula: %r" % (node,))
+
+        return ev(formula)
+
+
+def _disjuncts(node):
+    """Lazily enumerate the DNF branches of an NNF formula as lists of
+    literals (atoms or negated atoms)."""
+    if isinstance(node, (F.Atom, F.Not, F.BoolConst)):
+        yield [node]
+        return
+    if isinstance(node, F.Or):
+        for child in node.children:
+            yield from _disjuncts(child)
+        return
+    if isinstance(node, F.And):
+        streams = [list(_disjuncts(child)) for child in node.children]
+        for combo in product(*streams):
+            merged = []
+            for part in combo:
+                merged.extend(part)
+            yield merged
+        return
+    raise TypeError("not an NNF formula: %r" % (node,))

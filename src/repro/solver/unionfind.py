@@ -1,0 +1,50 @@
+"""Union-Find (disjoint sets) with path compression and union by rank.
+
+The paper (Section 5, "Alive and Dead State Detection") maintains the
+DAG of strongly connected components of the regex graph with Union-Find
+[Tarjan 1975]; this is that structure.
+"""
+
+
+class UnionFind:
+    """Disjoint-set forest over arbitrary hashable items."""
+
+    def __init__(self):
+        self._parent = {}
+        self._rank = {}
+
+    def add(self, item):
+        """Register ``item`` as its own singleton set (idempotent)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def __contains__(self, item):
+        return item in self._parent
+
+    def find(self, item):
+        """Representative of the set containing ``item``."""
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        # path compression
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a, b):
+        """Merge the sets of ``a`` and ``b``; return the representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return ra
+
+    def same(self, a, b):
+        """True iff ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)

@@ -1,0 +1,96 @@
+"""Rendering derivative graphs and SBFAs (the paper's Figures 2 & 5).
+
+Text and Graphviz-dot output for:
+
+* the derivative transition structure of a regex (states = regexes,
+  edges labelled with guard predicates — Figure 2's view);
+* an SBFA's transition regexes (Figure 5's view).
+
+Purely presentational: used by examples and docs, tested for shape.
+"""
+
+from repro.derivatives.condtree import DerivativeEngine
+from repro.regex.printer import render_pred, to_pattern
+
+
+def derivative_graph(builder, root, max_states=200):
+    """Explore the derivative graph from ``root``.
+
+    Returns ``(states, edges)`` where states is a list of regexes in
+    discovery order and edges is a list of ``(source, guard, target)``.
+    """
+    engine = DerivativeEngine(builder)
+    states = [root]
+    seen = {root}
+    edges = []
+    frontier = [root]
+    while frontier:
+        state = frontier.pop(0)
+        for guard, leaves in engine.transitions(state):
+            target = builder.union(list(leaves))
+            if target is builder.empty:
+                continue
+            edges.append((state, guard, target))
+            if target not in seen:
+                if len(seen) >= max_states:
+                    return states, edges
+                seen.add(target)
+                states.append(target)
+                frontier.append(target)
+    return states, edges
+
+
+def graph_to_text(builder, root, max_states=200):
+    """A Figure 2-style textual rendering of the derivative graph."""
+    algebra = builder.algebra
+    states, edges = derivative_graph(builder, root, max_states)
+    index = {state: i for i, state in enumerate(states)}
+    lines = []
+    for i, state in enumerate(states):
+        marker = "((%d))" if state.nullable else "(%d)"
+        lines.append(
+            "%s %s" % (marker % i, to_pattern(state, algebra))
+        )
+    for source, guard, target in edges:
+        lines.append(
+            "  %d --[%s]--> %d"
+            % (index[source], render_pred(guard, algebra), index[target])
+        )
+    return "\n".join(lines)
+
+
+def graph_to_dot(builder, root, max_states=200, name="derivatives"):
+    """Graphviz dot output; final states get double circles, exactly
+    like the paper's figures."""
+    algebra = builder.algebra
+    states, edges = derivative_graph(builder, root, max_states)
+    index = {state: i for i, state in enumerate(states)}
+    lines = ["digraph %s {" % name, "  rankdir=LR;"]
+    for i, state in enumerate(states):
+        shape = "doublecircle" if state.nullable else "circle"
+        label = to_pattern(state, algebra).replace("\\", "\\\\").replace('"', '\\"')
+        lines.append('  n%d [shape=%s, label="%s"];' % (i, shape, label))
+    for source, guard, target in edges:
+        label = render_pred(guard, algebra).replace("\\", "\\\\").replace('"', '\\"')
+        lines.append(
+            '  n%d -> n%d [label="%s"];' % (index[source], index[target], label)
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def sbfa_to_text(sbfa, algebra=None):
+    """A Figure 5-style rendering of an SBFA's transition regexes."""
+    from repro.derivatives.transition import pretty
+
+    algebra = algebra or sbfa.algebra
+    lines = []
+    ordered = sorted(sbfa.states, key=repr)
+    for state in ordered:
+        marker = "((F))" if state in sbfa.finals else "     "
+        label = (
+            to_pattern(state, algebra) if hasattr(state, "kind") else repr(state)
+        )
+        lines.append("%s %s" % (marker, label))
+        lines.append("      delta = %s" % pretty(sbfa.delta[state], algebra))
+    return "\n".join(lines)

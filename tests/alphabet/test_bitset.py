@@ -1,0 +1,76 @@
+"""Bitset algebra over explicit finite alphabets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.alphabet.bitset import BitsetAlgebra
+from repro.errors import AlgebraError
+
+char_sets = st.sets(st.sampled_from("abcd"))
+
+
+@pytest.fixture
+def alg():
+    return BitsetAlgebra("abcd")
+
+
+def test_rejects_empty_alphabet():
+    with pytest.raises(AlgebraError):
+        BitsetAlgebra("")
+
+
+def test_rejects_duplicates():
+    with pytest.raises(AlgebraError):
+        BitsetAlgebra("aa")
+
+
+def test_top_bot(alg):
+    assert alg.count(alg.top) == 4
+    assert alg.count(alg.bot) == 0
+    assert alg.is_valid(alg.top) and not alg.is_sat(alg.bot)
+
+
+@given(char_sets, char_sets)
+def test_boolean_ops_match_set_ops(s1, s2):
+    alg = BitsetAlgebra("abcd")
+    a, b = alg.from_chars(s1), alg.from_chars(s2)
+    assert set(alg.chars(alg.conj(a, b))) == s1 & s2
+    assert set(alg.chars(alg.disj(a, b))) == s1 | s2
+    assert set(alg.chars(alg.neg(a))) == set("abcd") - s1
+
+
+@given(char_sets)
+def test_extensionality(s):
+    alg = BitsetAlgebra("abcd")
+    assert alg.from_chars(s) == alg.from_chars(sorted(s))
+
+
+def test_pick_first_member(alg):
+    assert alg.pick(alg.from_chars("cb")) == "b"
+
+
+def test_pick_empty_raises(alg):
+    with pytest.raises(AlgebraError):
+        alg.pick(alg.bot)
+
+
+def test_member(alg):
+    phi = alg.from_chars("ad")
+    assert alg.member("a", phi) and alg.member("d", phi)
+    assert not alg.member("b", phi)
+
+
+def test_member_out_of_alphabet_raises(alg):
+    with pytest.raises(AlgebraError):
+        alg.member("z", alg.top)
+
+
+def test_from_ranges(alg):
+    phi = alg.from_ranges([("a", "c")])
+    assert alg.chars(phi) == ["a", "b", "c"]
+
+
+def test_cross_algebra_guard(alg):
+    other = BitsetAlgebra("abcd")
+    with pytest.raises(AlgebraError):
+        alg.conj(alg.top, other.top)

@@ -1,0 +1,157 @@
+"""Interval algebra: CharSet canonicalization and Boolean-algebra laws."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.alphabet.intervals import BMP_MAX, CharSet, IntervalAlgebra
+from repro.errors import AlgebraError
+
+MAX = 255
+
+
+@pytest.fixture
+def alg():
+    return IntervalAlgebra(MAX)
+
+
+range_sets = st.lists(
+    st.tuples(st.integers(0, MAX), st.integers(0, MAX)).map(
+        lambda t: (min(t), max(t))
+    ),
+    max_size=5,
+)
+
+
+def to_set(charset):
+    return set(charset)
+
+
+class TestCharSet:
+    def test_normalize_merges_adjacent(self):
+        cs = CharSet.normalize([(5, 9), (10, 12)])
+        assert cs.ranges == ((5, 12),)
+
+    def test_normalize_merges_overlap(self):
+        cs = CharSet.normalize([(1, 8), (4, 12), (20, 22)])
+        assert cs.ranges == ((1, 12), (20, 22))
+
+    def test_normalize_drops_empty_pairs(self):
+        assert CharSet.normalize([(5, 4)]).ranges == ()
+
+    def test_contains_binary_search(self):
+        cs = CharSet.normalize([(10, 20), (30, 40), (50, 60)])
+        for code in (10, 20, 35, 60):
+            assert code in cs
+        for code in (9, 21, 29, 61, 0):
+            assert code not in cs
+
+    def test_len_and_iter(self):
+        cs = CharSet.normalize([(0, 2), (5, 5)])
+        assert len(cs) == 4
+        assert list(cs) == [0, 1, 2, 5]
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(AlgebraError):
+            CharSet(()).min()
+
+    @given(range_sets)
+    def test_normalization_is_canonical(self, pairs):
+        a = CharSet.normalize(pairs)
+        b = CharSet.normalize(list(reversed(pairs)))
+        assert a == b and hash(a) == hash(b)
+
+    @given(range_sets)
+    def test_ranges_disjoint_sorted_nonadjacent(self, pairs):
+        cs = CharSet.normalize(pairs)
+        for (lo1, hi1), (lo2, hi2) in zip(cs.ranges, cs.ranges[1:]):
+            assert hi1 + 1 < lo2
+
+
+class TestAlgebraLaws:
+    @given(range_sets, range_sets)
+    def test_union_denotation(self, p1, p2):
+        alg = IntervalAlgebra(MAX)
+        a, b = alg.from_ranges(p1), alg.from_ranges(p2)
+        assert to_set(alg.disj(a, b)) == to_set(a) | to_set(b)
+
+    @given(range_sets, range_sets)
+    def test_intersection_denotation(self, p1, p2):
+        alg = IntervalAlgebra(MAX)
+        a, b = alg.from_ranges(p1), alg.from_ranges(p2)
+        assert to_set(alg.conj(a, b)) == to_set(a) & to_set(b)
+
+    @given(range_sets)
+    def test_complement_involution(self, pairs):
+        alg = IntervalAlgebra(MAX)
+        a = alg.from_ranges(pairs)
+        assert alg.neg(alg.neg(a)) == a
+
+    @given(range_sets, range_sets)
+    def test_de_morgan(self, p1, p2):
+        alg = IntervalAlgebra(MAX)
+        a, b = alg.from_ranges(p1), alg.from_ranges(p2)
+        assert alg.neg(alg.conj(a, b)) == alg.disj(alg.neg(a), alg.neg(b))
+
+    @given(range_sets)
+    def test_extensionality(self, pairs):
+        alg = IntervalAlgebra(MAX)
+        a = alg.from_ranges(pairs)
+        rebuilt = alg.from_ranges([(c, c) for c in a])
+        assert rebuilt == a
+
+    def test_top_bottom(self, alg):
+        assert alg.is_valid(alg.top)
+        assert not alg.is_sat(alg.bot)
+        assert alg.neg(alg.top) == alg.bot
+
+    def test_implies(self, alg):
+        small = alg.from_ranges([(10, 20)])
+        big = alg.from_ranges([(0, 30)])
+        assert alg.implies(small, big)
+        assert not alg.implies(big, small)
+
+    def test_count(self, alg):
+        assert alg.count(alg.from_ranges([(0, 9), (20, 20)])) == 11
+
+    def test_diff_xor(self, alg):
+        a = alg.from_ranges([(0, 10)])
+        b = alg.from_ranges([(5, 15)])
+        assert to_set(alg.diff(a, b)) == set(range(0, 5))
+        assert to_set(alg.xor(a, b)) == set(range(0, 5)) | set(range(11, 16))
+
+
+class TestPickAndMembership:
+    def test_pick_prefers_printable(self, alg):
+        phi = alg.from_ranges([(0, 5), (0x41, 0x42)])
+        assert alg.pick(phi) == "A"
+
+    def test_pick_falls_back_to_minimum(self, alg):
+        phi = alg.from_ranges([(1, 3)])
+        assert alg.pick(phi) == "\x01"
+
+    def test_pick_empty_raises(self, alg):
+        with pytest.raises(AlgebraError):
+            alg.pick(alg.bot)
+
+    def test_member_rejects_out_of_domain(self, alg):
+        with pytest.raises(AlgebraError):
+            alg.member(chr(300), alg.top)
+
+    def test_from_char_string_and_int(self, alg):
+        assert alg.from_char("a") == alg.from_char(0x61)
+
+    def test_from_chars(self, alg):
+        phi = alg.from_chars("abc")
+        assert alg.count(phi) == 3
+        assert alg.member("b", phi)
+
+    def test_domain_clamps_ranges(self):
+        alg = IntervalAlgebra(0x7F)
+        phi = alg.from_ranges([(0x70, 0x200)])
+        assert to_set(phi) == set(range(0x70, 0x80))
+
+
+def test_bmp_default_domain():
+    alg = IntervalAlgebra()
+    assert alg.max_code == BMP_MAX
+    assert alg.count(alg.top) == BMP_MAX + 1

@@ -1,0 +1,63 @@
+"""Minterm generation: partition properties and sizes."""
+
+from hypothesis import given, strategies as st
+
+from repro.alphabet.bitset import BitsetAlgebra
+from repro.alphabet.intervals import IntervalAlgebra
+from repro.alphabet.minterms import minterms, partition_check
+
+preds = st.lists(
+    st.sets(st.sampled_from("abcd")).map(lambda s: frozenset(s)), max_size=4
+)
+
+
+@given(preds)
+def test_minterms_partition_bitset(pred_sets):
+    alg = BitsetAlgebra("abcd")
+    phis = [alg.from_chars(s) for s in pred_sets]
+    parts = minterms(alg, phis)
+    assert partition_check(alg, parts)
+
+
+@given(preds)
+def test_every_input_is_union_of_minterms(pred_sets):
+    alg = BitsetAlgebra("abcd")
+    phis = [alg.from_chars(s) for s in pred_sets]
+    parts = minterms(alg, phis)
+    for phi in phis:
+        covered = alg.disj_all(
+            p for p in parts if alg.is_sat(alg.conj(p, phi))
+        )
+        assert covered == phi or not alg.is_sat(phi)
+
+
+def test_minterm_count_bound():
+    alg = IntervalAlgebra(255)
+    phis = [alg.from_ranges([(i * 10, i * 10 + 15)]) for i in range(5)]
+    parts = minterms(alg, phis)
+    assert len(parts) <= 2 ** 5
+    assert partition_check(alg, parts)
+
+
+def test_empty_input_gives_top():
+    alg = IntervalAlgebra(255)
+    assert minterms(alg, []) == [alg.top]
+
+
+def test_disjoint_preds_linear_minterms():
+    alg = IntervalAlgebra(255)
+    phis = [alg.from_ranges([(i * 20, i * 20 + 9)]) for i in range(4)]
+    parts = minterms(alg, phis)
+    # n disjoint predicates + the rest: n + 1 minterms, not 2^n
+    assert len(parts) == 5
+
+
+def test_exponential_worst_case_exists():
+    # predicates in "general position" produce 2^n minterms
+    alg = IntervalAlgebra(255)
+    phis = [
+        alg.from_ranges([(b, b) for b in range(256) if b >> i & 1])
+        for i in range(4)
+    ]
+    parts = minterms(alg, phis)
+    assert len(parts) == 16

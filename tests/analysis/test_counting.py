@@ -1,0 +1,115 @@
+"""Language counting and sampling, verified against brute-force
+enumeration and the membership oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import LanguageCounter
+from repro.errors import AlgebraError
+from repro.regex import parse
+from repro.regex.semantics import Matcher, enumerate_strings
+from tests.conftest import ALPHABET
+from tests.strategies import extended_regexes
+
+
+@pytest.fixture
+def counter(bitset_builder):
+    return LanguageCounter(bitset_builder)
+
+
+def brute_count(matcher, regex, length):
+    return sum(
+        1 for s in enumerate_strings(ALPHABET, length)
+        if len(s) == length and matcher.matches(regex, s)
+    )
+
+
+def test_counts_match_enumeration_random(bitset_builder):
+    counter = LanguageCounter(bitset_builder)
+    matcher = Matcher(bitset_builder.algebra)
+
+    @settings(max_examples=80, deadline=None)
+    @given(extended_regexes(bitset_builder, max_leaves=4))
+    def check(r):
+        for n in range(4):
+            assert counter.count(r, n) == brute_count(matcher, r, n)
+
+    check()
+
+
+def test_known_counts(counter, bitset_builder):
+    b = bitset_builder
+    assert counter.count(parse(b, "(a|b){3}"), 3) == 8
+    assert counter.count(parse(b, "(a|b){3}"), 2) == 0
+    assert counter.count(b.full, 2) == len(ALPHABET) ** 2
+    assert counter.count(parse(b, ".*01.*"), 2) == 1
+    # complement counting: everything except the 1 string "01"
+    assert counter.count(parse(b, "~(.*01.*)"), 2) == len(ALPHABET) ** 2 - 1
+
+
+def test_count_up_to(counter, bitset_builder):
+    r = parse(bitset_builder, "a{1,3}")
+    assert counter.count_up_to(r, 5) == 3
+
+
+def test_symbolic_counting_over_bmp(bmp_builder):
+    """Counting uses predicate cardinalities, not enumeration: a
+    password-policy count over the full BMP finishes instantly."""
+    counter = LanguageCounter(bmp_builder)
+    policy = parse(bmp_builder, r"(.*\d.*)&.{4}")
+    total = counter.count(policy, 4)
+    # strings of length 4 with >= 1 digit = 65536^4 - (65536-60)^4
+    digits = 60  # our \d table has 60 codepoints
+    expected = 0x10000 ** 4 - (0x10000 - digits) ** 4
+    assert total == expected
+
+
+def test_is_finite(counter, bitset_builder):
+    b = bitset_builder
+    assert counter.is_finite(parse(b, "a{1,9}|b{2}"))
+    assert counter.is_finite(b.empty)
+    assert counter.is_finite(b.epsilon)
+    assert not counter.is_finite(parse(b, "a*"))
+    assert not counter.is_finite(parse(b, "~(ab)"))
+    assert not counter.is_finite(parse(b, "(ab)*&~(())"))
+
+
+def test_sampling_members_valid(counter, bitset_builder, bitset_matcher):
+    r = parse(bitset_builder, "(.*0.*)&~(.*01.*)")
+    rng = random.Random(7)
+    for _ in range(20):
+        s = counter.sample(r, 4, rng)
+        assert len(s) == 4
+        assert bitset_matcher.matches(r, s)
+
+
+def test_sampling_is_roughly_uniform(counter, bitset_builder):
+    r = parse(bitset_builder, "(a|b){2}")
+    rng = random.Random(42)
+    draws = [counter.sample(r, 2, rng) for _ in range(400)]
+    frequencies = {s: draws.count(s) for s in set(draws)}
+    assert set(frequencies) == {"aa", "ab", "ba", "bb"}
+    assert all(60 <= freq <= 140 for freq in frequencies.values())
+
+
+def test_sample_empty_length_raises(counter, bitset_builder):
+    with pytest.raises(AlgebraError):
+        counter.sample(parse(bitset_builder, "a{2}"), 3)
+
+
+def test_sample_many_skips_empty_lengths(counter, bitset_builder):
+    r = parse(bitset_builder, "(ab)+")
+    out = counter.sample_many(r, range(6), per_length=2)
+    assert out == ["ab", "ab", "abab", "abab"]
+
+
+def test_bmp_sampling(bmp_builder):
+    counter = LanguageCounter(bmp_builder)
+    matcher = Matcher(bmp_builder.algebra)
+    r = parse(bmp_builder, r"\w{3}&~(\d.*)")
+    rng = random.Random(3)
+    for _ in range(5):
+        s = counter.sample(r, 3, rng)
+        assert matcher.matches(r, s)

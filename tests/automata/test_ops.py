@@ -1,0 +1,114 @@
+"""Automaton operations: epsilon removal, determinization, Boolean
+operations — all against the membership oracle."""
+
+from hypothesis import given, settings
+
+from repro.automata import ops
+from repro.automata.thompson import thompson
+from repro.regex import parse
+from repro.regex.semantics import Matcher, enumerate_strings
+from tests.conftest import ALPHABET
+from tests.strategies import short_strings, standard_regexes
+
+
+def nfa_of(builder, pattern):
+    return thompson(builder.algebra, parse(builder, pattern))
+
+
+def accepted(sfa, max_len=4):
+    return {s for s in enumerate_strings(ALPHABET, max_len) if sfa.accepts(s)}
+
+
+def test_remove_epsilons_preserves_language(bitset_builder):
+    b = bitset_builder
+
+    @settings(max_examples=80, deadline=None)
+    @given(standard_regexes(b), short_strings(4))
+    def check(r, s):
+        nfa = thompson(b.algebra, r)
+        flat = ops.remove_epsilons(nfa)
+        assert not flat.has_epsilons
+        assert flat.accepts(s) == nfa.accepts(s)
+
+    check()
+
+
+def test_determinize_preserves_language_and_is_deterministic(bitset_builder):
+    b = bitset_builder
+
+    @settings(max_examples=60, deadline=None)
+    @given(standard_regexes(b, max_leaves=5))
+    def check(r):
+        nfa = thompson(b.algebra, r)
+        dfa = ops.determinize(nfa)
+        assert dfa.check_deterministic()
+        assert accepted(dfa, 3) == accepted(nfa, 3)
+
+    check()
+
+
+def test_complement(bitset_builder):
+    b = bitset_builder
+    nfa = nfa_of(b, "(a|b)*")
+    comp = ops.complement(nfa)
+    universe = set(enumerate_strings(ALPHABET, 3))
+    assert accepted(comp, 3) == universe - accepted(nfa, 3)
+
+
+def test_double_complement(bitset_builder):
+    b = bitset_builder
+    nfa = nfa_of(b, "a*b")
+    twice = ops.complement(ops.complement(nfa))
+    assert accepted(twice, 3) == accepted(nfa, 3)
+
+
+def test_product_intersection(bitset_builder):
+    b = bitset_builder
+    left = nfa_of(b, ".*a.*")
+    right = nfa_of(b, ".*b.*")
+    prod = ops.product(left, right)
+    assert accepted(prod, 3) == accepted(left, 3) & accepted(right, 3)
+
+
+def test_product_union_on_dfas(bitset_builder):
+    b = bitset_builder
+    left = ops.determinize(nfa_of(b, "a+"))
+    right = ops.determinize(nfa_of(b, "b+"))
+    both = ops.product(left, right, mode="union")
+    assert accepted(both, 3) == accepted(left, 3) | accepted(right, 3)
+
+
+def test_nfa_union(bitset_builder):
+    b = bitset_builder
+    left = nfa_of(b, "(ab)+")
+    right = nfa_of(b, "(ba)+")
+    union = ops.nfa_union(left, right)
+    assert accepted(union, 4) == accepted(left, 4) | accepted(right, 4)
+
+
+def test_nfa_concat(bitset_builder):
+    b = bitset_builder
+    left = nfa_of(b, "a|b")
+    right = nfa_of(b, "0*")
+    conc = ops.nfa_concat(left, right)
+    expected = {
+        x + y
+        for x in accepted(left, 2) for y in accepted(right, 2)
+        if len(x + y) <= 3
+    }
+    assert accepted(conc, 3) == expected
+
+
+def test_nfa_star(bitset_builder):
+    b = bitset_builder
+    star = ops.nfa_star(nfa_of(b, "ab"))
+    assert accepted(star, 4) == {"", "ab", "abab"}
+
+
+def test_determinization_blowup(bitset_builder):
+    """(a|b)*a(a|b){k} needs ~2^k DFA states: the classical cliff."""
+    b = bitset_builder
+    small = ops.determinize(nfa_of(b, "(a|b)*a(a|b){2}"))
+    large = ops.determinize(nfa_of(b, "(a|b)*a(a|b){6}"))
+    assert small.num_states >= 2 ** 2
+    assert large.num_states >= 2 ** 6

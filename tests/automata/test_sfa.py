@@ -1,0 +1,70 @@
+"""SFA basics: simulation, emptiness, trimming."""
+
+import pytest
+
+from repro.automata.sfa import SFA, StateBudget
+from repro.errors import BudgetExceeded
+
+
+@pytest.fixture
+def simple(bitset_algebra):
+    """Accepts a+ (states 0 -a-> 1 -a-> 1)."""
+    a = bitset_algebra.from_char("a")
+    return SFA(
+        bitset_algebra, 2, 0, {1},
+        {0: [(a, 1)], 1: [(a, 1)]},
+    )
+
+
+def test_accepts(simple):
+    assert simple.accepts("a")
+    assert simple.accepts("aaa")
+    assert not simple.accepts("")
+    assert not simple.accepts("ab")
+
+
+def test_is_empty_with_witness(simple):
+    empty, witness = simple.is_empty()
+    assert not empty and witness == "a"
+
+
+def test_empty_automaton(bitset_algebra):
+    sfa = SFA(bitset_algebra, 1, 0, set(), {})
+    empty, witness = sfa.is_empty()
+    assert empty and witness is None
+
+
+def test_epsilon_closure(bitset_algebra):
+    sfa = SFA(bitset_algebra, 3, 0, {2}, {}, epsilons={0: {1}, 1: {2}})
+    assert sfa.epsilon_closure({0}) == {0, 1, 2}
+    assert sfa.accepts("")
+
+
+def test_trim_removes_unreachable(bitset_algebra):
+    a = bitset_algebra.from_char("a")
+    sfa = SFA(bitset_algebra, 4, 0, {1, 3}, {0: [(a, 1)], 2: [(a, 3)]})
+    trimmed = sfa.trim()
+    assert trimmed.num_states == 2
+    assert trimmed.accepts("a")
+
+
+def test_check_deterministic(bitset_algebra):
+    a = bitset_algebra.from_char("a")
+    ab = bitset_algebra.from_chars("ab")
+    det = SFA(bitset_algebra, 2, 0, {1}, {0: [(a, 1)]}, deterministic=True)
+    assert det.check_deterministic()
+    nondet = SFA(bitset_algebra, 2, 0, {1}, {0: [(a, 1), (ab, 0)]})
+    assert not nondet.check_deterministic()
+
+
+def test_state_budget():
+    budget = StateBudget(max_states=3)
+    budget.charge(3)
+    with pytest.raises(BudgetExceeded):
+        budget.charge()
+
+
+def test_unlimited_budget():
+    budget = StateBudget()
+    budget.charge(10 ** 6)
+    assert budget.created == 10 ** 6

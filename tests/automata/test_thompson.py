@@ -1,0 +1,63 @@
+"""Thompson construction vs the membership oracle."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.thompson import thompson
+from repro.errors import UnsupportedError
+from repro.regex import parse
+from repro.regex.semantics import Matcher, enumerate_strings
+from tests.conftest import ALPHABET
+from tests.strategies import short_strings, standard_regexes
+
+
+def test_language_agreement(bitset_builder):
+    b = bitset_builder
+    matcher = Matcher(b.algebra)
+
+    @settings(max_examples=100, deadline=None)
+    @given(standard_regexes(b), short_strings(4))
+    def check(r, s):
+        nfa = thompson(b.algebra, r)
+        assert nfa.accepts(s) == matcher.matches(r, s)
+
+    check()
+
+
+def test_rejects_boolean_operators(bitset_builder):
+    b = bitset_builder
+    with pytest.raises(UnsupportedError):
+        thompson(b.algebra, b.compl(b.char("a")))
+    with pytest.raises(UnsupportedError):
+        thompson(b.algebra, b.inter([parse(b, "a.*"), parse(b, ".*b")]))
+
+
+def test_loop_expansion_state_count(bitset_builder):
+    """Bounded loops expand: states grow linearly with the bound —
+    exactly the eager-pipeline cost the paper's benchmarks target."""
+    b = bitset_builder
+    small = thompson(b.algebra, parse(b, "a{5}"))
+    large = thompson(b.algebra, parse(b, "a{50}"))
+    assert large.num_states > 5 * small.num_states
+
+
+def test_bounded_loop_language(bitset_builder):
+    b = bitset_builder
+    nfa = thompson(b.algebra, parse(b, "(ab){2,3}"))
+    accepted = {
+        s for s in enumerate_strings(ALPHABET, 6) if nfa.accepts(s)
+    }
+    assert accepted == {"abab", "ababab"}
+
+
+def test_empty_regex(bitset_builder):
+    b = bitset_builder
+    nfa = thompson(b.algebra, b.empty)
+    assert nfa.is_empty()[0]
+
+
+def test_epsilon_regex(bitset_builder):
+    b = bitset_builder
+    nfa = thompson(b.algebra, b.epsilon)
+    assert nfa.accepts("")
+    assert not nfa.accepts("a")

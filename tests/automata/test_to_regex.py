@@ -1,0 +1,75 @@
+"""State elimination: regex -> NFA -> regex round trips."""
+
+from hypothesis import given, settings
+
+from repro.automata.sfa import SFA
+from repro.automata.thompson import thompson
+from repro.automata.to_regex import to_regex
+from repro.regex.semantics import Matcher, enumerate_strings
+from repro.regex import parse
+from tests.conftest import ALPHABET
+from tests.strategies import standard_regexes
+
+
+def lang(matcher, regex, max_len=4):
+    return frozenset(
+        s for s in enumerate_strings(ALPHABET, max_len)
+        if matcher.matches(regex, s)
+    )
+
+
+def test_round_trip_preserves_language(bitset_builder):
+    b = bitset_builder
+    matcher = Matcher(b.algebra)
+
+    @settings(max_examples=80, deadline=None)
+    @given(standard_regexes(b, max_leaves=5))
+    def check(r):
+        nfa = thompson(b.algebra, r)
+        back = to_regex(nfa, b)
+        assert lang(matcher, back) == lang(matcher, r)
+
+    check()
+
+
+def test_handwritten_automaton(bitset_builder):
+    """A two-state automaton for (ab)+ converted to a regex."""
+    b = bitset_builder
+    algebra = b.algebra
+    a, bb = algebra.from_char("a"), algebra.from_char("b")
+    sfa = SFA(
+        algebra, 2, 0, {1},
+        {0: [(a, 1)], 1: [(bb, 0)]},
+    )
+    # accepts a(ba)*: a, aba, ababa...
+    back = to_regex(sfa, b)
+    matcher = Matcher(algebra)
+    assert lang(matcher, back, 5) == {"a", "aba", "ababa"}
+
+
+def test_empty_automaton(bitset_builder):
+    b = bitset_builder
+    sfa = SFA(b.algebra, 1, 0, set(), {})
+    assert to_regex(sfa, b) is b.empty
+
+
+def test_epsilon_only(bitset_builder):
+    b = bitset_builder
+    sfa = SFA(b.algebra, 1, 0, {0}, {})
+    back = to_regex(sfa, b)
+    matcher = Matcher(b.algebra)
+    assert matcher.matches(back, "")
+    assert not matcher.matches(back, "a")
+
+
+def test_round_trip_through_boolean_ops(bitset_builder):
+    """regex -> eager automaton (with product/complement) -> regex."""
+    from repro.automata.eager import eager_compile
+    from repro.automata.sfa import StateBudget
+
+    b = bitset_builder
+    matcher = Matcher(b.algebra)
+    r = parse(b, "(.*0.*)&~(.*01.*)")
+    sfa = eager_compile(b.algebra, r, StateBudget(10000))
+    back = to_regex(sfa, b)
+    assert lang(matcher, back) == lang(matcher, r)

@@ -1,0 +1,60 @@
+"""The engine line-up: names, independence, and a mini end-to-end
+consistency run over a real suite."""
+
+import pytest
+
+from repro.alphabet import IntervalAlgebra
+from repro.regex import RegexBuilder
+from repro.bench.engines import default_engines, reference_engine
+from repro.bench.generators import dates
+from repro.bench.harness import run_matrix, run_problem
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return RegexBuilder(IntervalAlgebra())
+
+
+def test_engine_names_are_the_papers_families():
+    names = [e.name for e in default_engines()]
+    assert names == [
+        "sbd", "eager-sfa", "eager-dfa", "antimirov-pd",
+        "brzozowski-minterm",
+    ]
+
+
+def test_fresh_solver_per_problem(builder):
+    engine = reference_engine()
+    first = engine.fresh_solver(builder)
+    second = engine.fresh_solver(builder)
+    assert first is not second
+
+
+def test_no_engine_answers_wrong_on_dates(builder):
+    """Every engine either solves a date problem correctly or times
+    out — wrong answers are bugs, not slowness."""
+    suite = dates.generate(builder)
+    records = run_matrix(
+        default_engines(), suite, builder, fuel=100000, seconds=2.0
+    )
+    wrong = [
+        (r.engine, r.problem.name) for r in records if r.outcome == "wrong"
+    ]
+    assert not wrong
+
+
+def test_progress_callback(builder):
+    suite = dates.generate(builder) * 3  # 60 problems -> callback fires
+    calls = []
+    run_matrix(
+        [reference_engine()], suite, builder, fuel=50000, seconds=2.0,
+        progress=lambda name, done, total: calls.append((name, done, total)),
+    )
+    assert calls and calls[0][0] == "sbd"
+
+
+def test_reference_solves_each_date_problem(builder):
+    engine = reference_engine()
+    for problem in dates.generate(builder):
+        record = run_problem(engine, builder, problem, fuel=100000, seconds=5.0)
+        assert record.outcome == "correct", problem.name

@@ -1,0 +1,42 @@
+"""Suite export: .smt2 round trips."""
+
+import os
+
+from repro.alphabet import IntervalAlgebra
+from repro.regex import RegexBuilder
+from repro.bench.export import export_problem, export_suite
+from repro.bench.generators import dates, passwords
+from repro.smtlib.interp import run_file
+from repro.smtlib.parser import parse_script
+from repro.solver.result import Budget
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return RegexBuilder(IntervalAlgebra())
+
+
+def test_export_problem_is_valid_smtlib(builder):
+    problem = dates.generate(builder)[0]
+    text = export_problem(problem, builder.algebra)
+    script = parse_script(builder, text)
+    assert script.expected_status() == problem.expected
+    assert "date" in script.variables
+
+
+def test_export_suite_layout(builder, tmp_path):
+    problems = dates.generate(builder)[:5]
+    paths = export_suite(problems, str(tmp_path), algebra=builder.algebra)
+    assert len(paths) == 5
+    assert all(os.path.exists(p) for p in paths)
+    assert all(os.path.dirname(p).endswith("date") for p in paths)
+
+
+def test_exported_files_solve_to_their_labels(builder, tmp_path):
+    problems = passwords.generate(builder)[:8]
+    paths = export_suite(problems, str(tmp_path), algebra=builder.algebra)
+    for problem, path in zip(problems, paths):
+        result = run_file(builder, path, budget=Budget(500000, 20.0))
+        assert result.status == problem.expected, path

@@ -1,0 +1,106 @@
+"""Benchmark generators: determinism, counts, and label validity.
+
+Label validity is the crucial one: every label claimed "by
+construction" is audited here against the reference solver, and sat
+labels additionally against the independent membership oracle.
+"""
+
+import pytest
+
+from repro.alphabet import IntervalAlgebra
+from repro.regex import RegexBuilder
+from repro.bench.generators import (
+    blowup, boolean_loops, dates, kaluza, norn, passwords, regexlib, slog,
+    sygus,
+)
+from repro.bench.suites import (
+    PAPER_COUNTS, all_suites, label_problems, suite_inventory,
+)
+from repro.solver.result import Budget
+from repro.solver.smt import SmtSolver
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return RegexBuilder(IntervalAlgebra())
+
+
+@pytest.fixture(scope="module")
+def solver(builder):
+    return SmtSolver(builder)
+
+
+HANDWRITTEN = [
+    (dates.generate, 20), (passwords.generate, 34),
+    (boolean_loops.generate, 21), (blowup.generate, 14),
+]
+
+
+@pytest.mark.parametrize("generate,count", HANDWRITTEN)
+def test_handwritten_counts(builder, generate, count):
+    assert len(generate(builder)) == count
+
+
+@pytest.mark.parametrize("generate,count", HANDWRITTEN)
+def test_handwritten_labels_audited(builder, solver, generate, count):
+    """Every constructed label matches the solver's verdict, and every
+    sat model passes the independent oracle."""
+    for problem in generate(builder):
+        result = solver.solve(problem.formula, budget=Budget(2000000, 30.0))
+        assert result.status == problem.expected, problem.name
+        if result.is_sat:
+            assert solver.check_model(problem.formula, result.model), problem.name
+
+
+def test_generated_suites_deterministic(builder):
+    first = [p.name for p in kaluza.generate(builder)]
+    second = [p.name for p in kaluza.generate(builder)]
+    assert first == second
+    f1 = [repr(p.formula) for p in sygus.generate(builder)]
+    f2 = [repr(p.formula) for p in sygus.generate(builder)]
+    assert f1 == f2
+
+
+@pytest.mark.parametrize("generate", [
+    kaluza.generate, slog.generate, norn.generate_nb, norn.generate_b,
+    sygus.generate,
+])
+def test_standard_suite_labels_sampled(builder, solver, generate):
+    """Audit a sample of each scaled suite (full audits run in the
+    benchmark harness itself)."""
+    problems = generate(builder)
+    for problem in problems[::7]:
+        result = solver.solve(problem.formula, budget=Budget(500000, 20.0))
+        assert result.status == problem.expected, problem.name
+
+
+def test_regexlib_constructed_subsets_hold(builder, solver):
+    for problem in regexlib.generate_subset(builder):
+        if problem.expected == "unsat" and "loop" in problem.name:
+            result = solver.solve(problem.formula, budget=Budget(500000, 20.0))
+            assert result.is_unsat, problem.name
+
+
+def test_labeling_fills_all_gaps(builder):
+    problems = regexlib.generate_intersection(builder, count=10)
+    assert all(p.expected is None for p in problems)
+    label_problems(builder, problems)
+    assert all(p.expected in ("sat", "unsat") for p in problems)
+
+
+def test_group_tags(builder):
+    problems = all_suites(builder)
+    assert {p.group for p in problems} == {"NB", "B", "H"}
+    # the Boolean group really is Boolean in the paper's sense
+    boolean = [p for p in problems if p.group == "B"]
+    assert sum(p.is_boolean() for p in boolean) > len(boolean) * 0.9
+
+
+def test_inventory_matches_paper_suites(builder):
+    inventory = suite_inventory(builder)
+    assert set(inventory) == set(PAPER_COUNTS)
+    for suite, cell in inventory.items():
+        assert cell["ours"] > 0, suite
+        # small suites are reproduced at full size
+        if cell["paper"] <= 100:
+            assert cell["ours"] == cell["paper"], suite

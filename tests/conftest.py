@@ -1,0 +1,67 @@
+"""Shared fixtures: algebras, builders and solvers over small domains
+(so exhaustive language comparisons stay fast)."""
+
+import pytest
+
+from repro.alphabet import BDDAlgebra, BitsetAlgebra, IntervalAlgebra
+from repro.regex import RegexBuilder
+from repro.regex.semantics import Matcher
+from repro.solver import RegexSolver
+
+#: The explicit alphabet used for exhaustive tests.
+ALPHABET = "ab01"
+
+
+@pytest.fixture
+def bitset_algebra():
+    return BitsetAlgebra(ALPHABET)
+
+
+@pytest.fixture
+def bitset_builder(bitset_algebra):
+    return RegexBuilder(bitset_algebra)
+
+
+@pytest.fixture
+def ascii_algebra():
+    return IntervalAlgebra(127)
+
+
+@pytest.fixture
+def ascii_builder(ascii_algebra):
+    return RegexBuilder(ascii_algebra)
+
+
+@pytest.fixture
+def bmp_algebra():
+    return IntervalAlgebra()
+
+
+@pytest.fixture
+def bmp_builder(bmp_algebra):
+    return RegexBuilder(bmp_algebra)
+
+
+@pytest.fixture
+def bdd_algebra():
+    return BDDAlgebra(bits=8)
+
+
+@pytest.fixture
+def bdd_builder(bdd_algebra):
+    return RegexBuilder(bdd_algebra)
+
+
+@pytest.fixture
+def bitset_matcher(bitset_algebra):
+    return Matcher(bitset_algebra)
+
+
+@pytest.fixture
+def bitset_solver(bitset_builder):
+    return RegexSolver(bitset_builder)
+
+
+@pytest.fixture
+def ascii_solver(ascii_builder):
+    return RegexSolver(ascii_builder)

@@ -1,0 +1,106 @@
+"""Keil–Thiemann positive/negative derivatives: the sandwich lemma
+([36, Lemma 3]) and its strictness — the motivation for transition
+regexes."""
+
+from hypothesis import given, settings
+
+from repro.alphabet.minterms import minterms
+from repro.derivatives.approx import is_exact_for, negative, positive
+from repro.derivatives.brzozowski import brzozowski
+from repro.regex import parse
+from repro.regex.semantics import Matcher, enumerate_strings
+from tests.conftest import ALPHABET
+from tests.strategies import extended_regexes, predicates
+
+
+def lang(matcher, regex, max_len=3):
+    return frozenset(
+        s for s in enumerate_strings(ALPHABET, max_len)
+        if matcher.matches(regex, s)
+    )
+
+
+def test_sandwich_lemma(bitset_builder):
+    """neg(B,R) ⊆ D_a(R) ⊆ pos(B,R) for every a in B."""
+    b = bitset_builder
+    algebra = b.algebra
+    matcher = Matcher(algebra)
+
+    @settings(max_examples=120, deadline=None)
+    @given(extended_regexes(b, max_leaves=4), predicates(algebra))
+    def check(r, pred):
+        under = lang(matcher, negative(b, pred, r))
+        over = lang(matcher, positive(b, pred, r))
+        for ch in ALPHABET:
+            if not algebra.member(ch, pred):
+                continue
+            exact = lang(matcher, brzozowski(b, r, ch))
+            assert under <= exact <= over
+
+    check()
+
+
+def test_strictness_witness(bitset_builder):
+    """Both inclusions are strict in general: with B = {0,1} and
+    R = 0.*, the positive derivative accepts too much for a='1' and
+    the negative one too little for a='0'."""
+    b = bitset_builder
+    algebra = b.algebra
+    matcher = Matcher(algebra)
+    B = algebra.from_chars("01")
+    r = parse(b, "0.*")
+    over = lang(matcher, positive(b, B, r))
+    under = lang(matcher, negative(b, B, r))
+    exact_0 = lang(matcher, brzozowski(b, r, "0"))
+    exact_1 = lang(matcher, brzozowski(b, r, "1"))
+    assert under < exact_0          # under-approximation loses members
+    assert exact_1 < over           # over-approximation invents members
+
+
+def test_complement_swaps_polarity(bitset_builder):
+    """pos(B, ~R) = ~neg(B, R): a fixed polarity cannot survive
+    complement — the paper's core argument for conditionals."""
+    b = bitset_builder
+    B = b.algebra.from_chars("0a")
+    r = parse(b, ".*01.*")
+    assert positive(b, B, b.compl(r)) is b.compl(negative(b, B, r))
+    assert negative(b, B, b.compl(r)) is b.compl(positive(b, B, r))
+
+
+def test_exact_on_minterms(bitset_builder):
+    """Restricted to a minterm of Psi_R, both derivatives agree with
+    the classical one — the local-mintermization escape hatch, at up
+    to 2^n minterms."""
+    b = bitset_builder
+    algebra = b.algebra
+    matcher = Matcher(algebra)
+    r = parse(b, "(.*0.*)&~(.*01.*)&(a|0)*")
+    for part in minterms(algebra, sorted(r.predicates(), key=repr)):
+        over = positive(b, part, r)
+        under = negative(b, part, r)
+        ch = algebra.pick(part)
+        exact = brzozowski(b, r, ch)
+        assert lang(matcher, over) == lang(matcher, exact)
+        assert lang(matcher, under) == lang(matcher, exact)
+
+
+def test_singleton_predicate_is_exact(bitset_builder):
+    b = bitset_builder
+
+    @settings(max_examples=80, deadline=None)
+    @given(extended_regexes(b, max_leaves=4))
+    def check(r):
+        matcher = Matcher(b.algebra)
+        pred = b.algebra.from_char("a")
+        over = positive(b, pred, r)
+        exact = brzozowski(b, r, "a")
+        assert lang(matcher, over) == lang(matcher, exact)
+
+    check()
+
+
+def test_is_exact_for_helper(bitset_builder):
+    b = bitset_builder
+    r = parse(b, "[ab].*")
+    assert is_exact_for(b, b.algebra.from_chars("ab"), r)
+    assert not is_exact_for(b, b.algebra.from_chars("a0"), r)

@@ -1,0 +1,79 @@
+"""Classical Brzozowski derivatives and the finitization view."""
+
+from hypothesis import given, settings
+
+from repro.alphabet.minterms import partition_check
+from repro.derivatives.brzozowski import (
+    brzozowski, derive_string, matches, minterm_transitions,
+    sorted_predicates,
+)
+from repro.regex import parse
+from repro.regex.semantics import Matcher
+from tests.strategies import extended_regexes, short_strings
+
+
+def test_matching_via_derivatives(bitset_builder):
+    b = bitset_builder
+    matcher = Matcher(b.algebra)
+
+    @settings(max_examples=150, deadline=None)
+    @given(extended_regexes(b), short_strings(4))
+    def check(r, s):
+        assert matches(b, r, s) == matcher.matches(r, s)
+
+    check()
+
+
+def test_derive_string_composes(bitset_builder):
+    b = bitset_builder
+    r = parse(b, "(ab)*")
+    assert derive_string(b, r, "ab") is r
+    assert derive_string(b, r, "a") is b.concat([b.char("b"), r])
+
+
+def test_derivative_of_complement_commutes(bitset_builder):
+    b = bitset_builder
+    r = parse(b, ".*01.*")
+    for ch in "ab01":
+        assert brzozowski(b, b.compl(r), ch) is b.compl(brzozowski(b, r, ch))
+
+
+def test_minterm_transitions_partition(bitset_builder):
+    b = bitset_builder
+    r = parse(b, "(a|b)*0&~(.*1)")
+    transitions = minterm_transitions(b, r)
+    assert partition_check(b.algebra, [phi for phi, _ in transitions])
+
+
+def test_minterm_transitions_agree_with_pointwise(bitset_builder):
+    b = bitset_builder
+    r = parse(b, "(.*a.*)&(.*0.*)")
+    for part, target in minterm_transitions(b, r):
+        for ch in "ab01":
+            if b.algebra.member(ch, part):
+                assert brzozowski(b, r, ch) is target
+
+
+def test_minterm_count_exponential_in_predicates(ascii_builder):
+    """k classes in general position produce 2**k satisfiable minterms
+    — the Section 8.3 bottleneck the symbolic approach avoids."""
+    b = ascii_builder
+    algebra = b.algebra
+    # class_i selects the codepoints 0x40..0x4F whose bit i is set
+    classes = [
+        b.pred(algebra.from_ranges(
+            [(0x40 + c, 0x40 + c) for c in range(16) if c >> i & 1]
+        ))
+        for i in range(4)
+    ]
+    r = b.inter([b.contains(cls) for cls in classes])
+    transitions = minterm_transitions(b, r)
+    # 15 nonempty bit patterns + the all-zero region + outside chars
+    assert len(transitions) >= 2 ** 4
+    assert len(sorted_predicates(r)) == 5  # 4 classes + dot
+
+
+def test_sorted_predicates_deterministic(bitset_builder):
+    b = bitset_builder
+    r = parse(b, "[ab]|[b0]|[01]")
+    assert sorted_predicates(r) == sorted_predicates(r)

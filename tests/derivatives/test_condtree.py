@@ -1,0 +1,145 @@
+"""The fused clean-conditional-tree engine vs the literal pipeline."""
+
+from hypothesis import given, settings
+
+from repro.derivatives.condtree import DerivativeEngine
+from repro.derivatives.dnf import delta_dnf
+from repro.derivatives.transition import apply
+from repro.regex import parse
+from repro.regex.semantics import Matcher, enumerate_strings
+from tests.conftest import ALPHABET
+from tests.strategies import extended_regexes, short_strings
+
+
+def lang(matcher, regex, max_len=3):
+    return frozenset(
+        s for s in enumerate_strings(ALPHABET, max_len)
+        if matcher.matches(regex, s)
+    )
+
+
+def test_agrees_with_literal_pipeline(bitset_builder):
+    b = bitset_builder
+    engine = DerivativeEngine(b)
+    matcher = Matcher(b.algebra)
+
+    @settings(max_examples=120, deadline=None)
+    @given(extended_regexes(b))
+    def check(r):
+        literal = delta_dnf(b, r)
+        for ch in ALPHABET:
+            fused = engine.derive_regex(r, ch)
+            assert lang(matcher, fused) == lang(matcher, apply(b, literal, ch))
+
+    check()
+
+
+def test_matches_agrees_with_oracle(bitset_builder):
+    b = bitset_builder
+    engine = DerivativeEngine(b)
+    matcher = Matcher(b.algebra)
+
+    @settings(max_examples=150, deadline=None)
+    @given(extended_regexes(b), short_strings(4))
+    def check(r, s):
+        assert engine.matches(r, s) == matcher.matches(r, s)
+
+    check()
+
+
+def test_tree_is_clean(bitset_builder):
+    """Every branch of every derivative tree is satisfiable on its
+    path, and the leaf guards partition the alphabet."""
+    b = bitset_builder
+    engine = DerivativeEngine(b)
+
+    @settings(max_examples=100, deadline=None)
+    @given(extended_regexes(b))
+    def check(r):
+        transitions = engine.transitions(r)
+        algebra = b.algebra
+        union = algebra.bot
+        for guard, _ in transitions:
+            assert algebra.is_sat(guard)
+            assert not algebra.is_sat(algebra.conj(union, guard))
+            union = algebra.disj(union, guard)
+        assert algebra.is_valid(union)
+
+    check()
+
+
+def test_leaves_never_contain_bottom_and_full_absorbs(bitset_builder):
+    b = bitset_builder
+    engine = DerivativeEngine(b)
+    leaf = engine.leaf([b.empty, b.char("a")])
+    assert b.empty not in leaf.regexes
+    leaf2 = engine.leaf([b.full, b.char("a")])
+    assert leaf2.regexes == frozenset({b.full})
+
+
+def test_tree_interning(bitset_builder):
+    b = bitset_builder
+    engine = DerivativeEngine(b)
+    t1 = engine.derivative(parse(b, "(a|b)*"))
+    t2 = engine.derivative(parse(b, "(a|b)*"))
+    assert t1 is t2
+
+
+def test_node_collapses_equal_branches(bitset_builder):
+    b = bitset_builder
+    engine = DerivativeEngine(b)
+    leaf = engine.leaf([b.char("a")])
+    assert engine.node(b.algebra.from_char("a"), leaf, leaf) is leaf
+
+
+def test_negate_involution_on_singleton_leaves(bitset_builder):
+    b = bitset_builder
+    engine = DerivativeEngine(b)
+    tree = engine.derivative(parse(b, "~(.*01.*)"))  # leaves are single
+    assert engine.negate(engine.negate(tree)) is tree
+
+
+def test_negate_twice_preserves_semantics(bitset_builder):
+    """On union leaves, double negation leaves a De-Morgan-folded but
+    equivalent regex."""
+    b = bitset_builder
+    engine = DerivativeEngine(b)
+    matcher = Matcher(b.algebra)
+    tree = engine.derivative(parse(b, ".*01.*"))
+    twice = engine.negate(engine.negate(tree))
+    for ch in ALPHABET:
+        assert lang(matcher, engine.apply(tree, ch)) == lang(
+            matcher, engine.apply(twice, ch)
+        )
+
+
+def test_derive_string(bitset_builder):
+    b = bitset_builder
+    engine = DerivativeEngine(b)
+    r = parse(b, "a*b")
+    assert engine.derive_string(r, "aab") is b.epsilon
+    assert engine.derive_string(r, "ba") is b.empty
+
+
+def test_successors_exclude_trivial(bitset_builder):
+    b = bitset_builder
+    engine = DerivativeEngine(b)
+    succ = engine.successors(parse(b, "a.*"))
+    assert b.full not in succ and b.empty not in succ
+
+
+def test_memoization_reuses_work(bitset_builder):
+    b = bitset_builder
+    engine = DerivativeEngine(b)
+    r = parse(b, "(.*a.{5})&(.*b.{5})")
+    engine.derivative(r)
+    checks_before = engine.sat_checks
+    engine.derivative(r)
+    assert engine.sat_checks == checks_before
+
+
+def test_sat_check_counter_moves(bitset_builder):
+    b = bitset_builder
+    engine = DerivativeEngine(b)
+    engine.derivative(parse(b, "(a.*)&(b.*|0.*)"))
+    assert engine.sat_checks > 0

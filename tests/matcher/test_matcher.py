@@ -1,0 +1,112 @@
+"""The SRM-style matcher: against Python's re and the oracle."""
+
+import re as pyre
+
+import pytest
+from hypothesis import given, settings
+
+from repro.matcher import LazyDfa, RegexMatcher, compile_pattern
+from repro.regex import parse
+from repro.regex.semantics import Matcher as Oracle
+from tests.strategies import extended_regexes, short_strings
+
+STANDARD = ["a*b", "(ab)+", "a|b0", "[ab]{2,3}", "0(a|b)*1"]
+TEXTS = ["", "ab", "aab", "ba0ab1", "0ab1ab", "bbbb", "a0b1a0"]
+
+
+@pytest.mark.parametrize("pattern", STANDARD)
+def test_fullmatch_vs_python_re(bitset_builder, pattern):
+    matcher = compile_pattern(bitset_builder, pattern)
+    compiled = pyre.compile(pattern)
+    for text in TEXTS:
+        assert matcher.fullmatch(text) == bool(compiled.fullmatch(text))
+
+
+@pytest.mark.parametrize("pattern", STANDARD)
+def test_search_span_vs_python_re(bitset_builder, pattern):
+    matcher = compile_pattern(bitset_builder, pattern)
+    compiled = pyre.compile(pattern)
+    for text in TEXTS:
+        ours = matcher.search(text)
+        theirs = compiled.search(text)
+        if theirs is None:
+            assert ours is None
+        else:
+            assert ours is not None
+            # leftmost start agrees; our end is the *earliest* closing
+            # position, Python's is leftmost-longest-ish (greedy), so
+            # compare starts exactly and check our span really matches
+            assert ours.start == theirs.start()
+            assert compiled.fullmatch(text, ours.start, ours.end)
+
+
+def test_fullmatch_random_vs_oracle(bitset_builder):
+    oracle = Oracle(bitset_builder.algebra)
+    dfa = LazyDfa(bitset_builder)
+
+    @settings(max_examples=120, deadline=None)
+    @given(extended_regexes(bitset_builder), short_strings(5))
+    def check(r, s):
+        matcher = RegexMatcher(bitset_builder, r, dfa)
+        assert matcher.fullmatch(s) == oracle.matches(r, s)
+
+    check()
+
+
+def test_extended_operators_match(bitset_builder):
+    # substrings with a digit but no "01": find them in a noisy text
+    matcher = compile_pattern(bitset_builder, r"(0|1)+&~(.*01.*)")
+    match = matcher.search("ab0110b")
+    assert match is not None
+    assert match.group() == "0"
+    assert matcher.fullmatch("110")
+    assert not matcher.fullmatch("011")
+
+
+def test_finditer_nonoverlapping(bitset_builder):
+    matcher = compile_pattern(bitset_builder, "ab")
+    assert matcher.findall("abab0ab") == ["ab", "ab", "ab"]
+    assert matcher.count("abab0ab") == 3
+
+
+def test_finditer_empty_match_progress(bitset_builder):
+    matcher = compile_pattern(bitset_builder, "a*")
+    # nullable pattern: one (possibly empty) match per position, scan
+    # must terminate
+    matches = list(matcher.finditer("ba"))
+    assert matches
+    assert all(m.end <= 2 for m in matches)
+
+
+def test_search_no_match(bitset_builder):
+    matcher = compile_pattern(bitset_builder, "000")
+    assert matcher.search("ababab") is None
+    assert not matcher.is_match("ababab")
+
+
+def test_match_repr_and_span(bitset_builder):
+    matcher = compile_pattern(bitset_builder, "b+")
+    match = matcher.search("abba")
+    assert match.span() == (1, 2)  # earliest end semantics
+    assert "group='b'" in repr(match)
+
+
+def test_dfa_cache_shared_and_reused(bitset_builder):
+    dfa = LazyDfa(bitset_builder)
+    m1 = RegexMatcher(bitset_builder, parse(bitset_builder, "(ab)*"), dfa)
+    m1.fullmatch("abab")
+    built = dfa.states_built
+    m2 = RegexMatcher(bitset_builder, parse(bitset_builder, "(ab)*"), dfa)
+    m2.fullmatch("ababab")
+    assert dfa.states_built == built  # rows were cached
+
+
+def test_dfa_rows_partition(bitset_builder):
+    dfa = LazyDfa(bitset_builder)
+    r = parse(bitset_builder, "(a|b)*0&~(.*1)")
+    algebra = bitset_builder.algebra
+    union = algebra.bot
+    for guard, _ in dfa.row(r):
+        assert not algebra.is_sat(algebra.conj(union, guard))
+        union = algebra.disj(union, guard)
+    assert algebra.is_valid(union)

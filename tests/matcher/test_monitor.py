@@ -1,0 +1,100 @@
+"""Online monitoring: exact three-valued verdicts."""
+
+from hypothesis import given, settings
+
+from repro.matcher.monitor import (
+    FAILED, MATCHING, Monitor, PENDING, monitor_stream,
+)
+from repro.regex import parse
+from repro.regex.semantics import Matcher, enumerate_strings
+from tests.conftest import ALPHABET
+from tests.strategies import extended_regexes, short_strings
+
+
+def test_verdict_trace(bitset_builder):
+    b = bitset_builder
+    # "starts ab, then anything without 00"
+    r = parse(b, "ab.*&~(.*00.*)")
+    trace = monitor_stream(b, r, "ab0a0")
+    assert trace == [PENDING, PENDING, MATCHING, MATCHING, MATCHING, MATCHING]
+
+
+def test_failure_is_detected_and_sticky(bitset_builder):
+    b = bitset_builder
+    r = parse(b, "ab.*")
+    monitor = Monitor(b, r)
+    assert monitor.feed("b") == FAILED     # no extension of "b" matches
+    assert monitor.feed("a") == FAILED     # sticky
+    assert monitor.is_definitive()
+
+
+def test_failure_through_forbidden_factor(bitset_builder):
+    b = bitset_builder
+    r = parse(b, "(a|b)*&~(.*ab.*)")
+    monitor = Monitor(b, r)
+    monitor.feed_all("ba")
+    assert monitor.verdict() == MATCHING
+    monitor.feed("b")                      # created the factor "ab"
+    assert monitor.verdict() == FAILED
+
+
+def test_matching_vs_pending(bitset_builder):
+    b = bitset_builder
+    r = parse(b, "(ab)+")
+    monitor = Monitor(b, r)
+    assert monitor.verdict() == PENDING
+    assert monitor.feed("a") == PENDING
+    assert monitor.feed("b") == MATCHING
+    assert monitor.feed("a") == PENDING
+
+
+def test_reset(bitset_builder):
+    b = bitset_builder
+    monitor = Monitor(b, parse(b, "ab"))
+    monitor.feed_all("ab")
+    assert monitor.verdict() == MATCHING
+    monitor.reset()
+    assert monitor.verdict() == PENDING
+    assert monitor.consumed == 0
+
+
+def test_exactness_against_oracle(bitset_builder):
+    """The verdict equals the semantic truth for every prefix."""
+    b = bitset_builder
+    oracle = Matcher(b.algebra)
+    shared = Monitor(b, b.full).solver  # share deadness knowledge
+
+    @settings(max_examples=60, deadline=None)
+    @given(extended_regexes(b, max_leaves=4), short_strings(4))
+    def check(r, s):
+        monitor = Monitor(b, r, solver=shared)
+        for i, char in enumerate(s):
+            verdict = monitor.feed(char)
+            prefix = s[:i + 1]
+            if verdict == MATCHING:
+                assert oracle.matches(r, prefix)
+            else:
+                assert not oracle.matches(r, prefix)
+            if verdict == FAILED:
+                # no extension up to the horizon matches
+                assert not any(
+                    oracle.matches(r, prefix + ext)
+                    for ext in enumerate_strings(ALPHABET, 2)
+                )
+
+    check()
+
+
+def test_definitive_on_universal_residual(bitset_builder):
+    b = bitset_builder
+    monitor = Monitor(b, parse(b, "a.*"))
+    monitor.feed("a")
+    assert monitor.verdict() == MATCHING
+    assert monitor.is_definitive()
+
+
+def test_residual_exposed(bitset_builder):
+    b = bitset_builder
+    monitor = Monitor(b, parse(b, "ab|ab0"))
+    monitor.feed("a")
+    assert monitor.residual() is parse(b, "b|b0")

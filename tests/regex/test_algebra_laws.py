@@ -1,0 +1,126 @@
+"""Semantic laws of the regex algebra, property-tested.
+
+The builder's *syntactic* laws are checked in test_builder; here the
+corresponding *language* identities are verified against the reference
+semantics, including the ones the builder deliberately does not apply
+(e.g. De Morgan) — languages must agree even when syntax differs.
+"""
+
+from hypothesis import given, settings
+
+from repro.regex.semantics import Matcher, enumerate_strings
+from tests.conftest import ALPHABET
+from tests.strategies import extended_regexes
+
+MAX_LEN = 3
+
+
+def lang(matcher, regex):
+    return frozenset(
+        s for s in enumerate_strings(ALPHABET, MAX_LEN)
+        if matcher.matches(regex, s)
+    )
+
+
+def run(builder, property_fn, max_examples=80, pairs=True):
+    matcher = Matcher(builder.algebra)
+    strategy = extended_regexes(builder, max_leaves=4)
+
+    if pairs:
+        @settings(max_examples=max_examples, deadline=None)
+        @given(strategy, strategy)
+        def check(r, s):
+            property_fn(matcher, r, s)
+    else:
+        @settings(max_examples=max_examples, deadline=None)
+        @given(strategy)
+        def check(r):
+            property_fn(matcher, r)
+
+    check()
+
+
+def test_union_is_set_union(bitset_builder):
+    b = bitset_builder
+
+    def prop(m, r, s):
+        assert lang(m, b.union([r, s])) == lang(m, r) | lang(m, s)
+
+    run(b, prop)
+
+
+def test_inter_is_set_intersection(bitset_builder):
+    b = bitset_builder
+
+    def prop(m, r, s):
+        assert lang(m, b.inter([r, s])) == lang(m, r) & lang(m, s)
+
+    run(b, prop)
+
+
+def test_compl_is_set_complement(bitset_builder):
+    b = bitset_builder
+    universe = frozenset(enumerate_strings(ALPHABET, MAX_LEN))
+
+    def prop(m, r):
+        assert lang(m, b.compl(r)) == universe - lang(m, r)
+
+    run(b, prop, pairs=False)
+
+
+def test_de_morgan_semantically(bitset_builder):
+    b = bitset_builder
+
+    def prop(m, r, s):
+        lhs = b.compl(b.union([r, s]))
+        rhs = b.inter([b.compl(r), b.compl(s)])
+        assert lang(m, lhs) == lang(m, rhs)
+
+    run(b, prop)
+
+
+def test_concat_distributes_over_union(bitset_builder):
+    b = bitset_builder
+
+    def prop(m, r, s):
+        t = b.char("a")
+        lhs = b.concat([b.union([r, s]), t])
+        rhs = b.union([b.concat([r, t]), b.concat([s, t])])
+        assert lang(m, lhs) == lang(m, rhs)
+
+    run(b, prop, max_examples=60)
+
+
+def test_star_unfolding(bitset_builder):
+    """L(R*) = {eps} ∪ L(R . R*)."""
+    b = bitset_builder
+
+    def prop(m, r):
+        star = b.star(r)
+        unfolded = b.union([b.epsilon, b.concat([r, star])])
+        assert lang(m, star) == lang(m, unfolded)
+
+    run(b, prop, pairs=False)
+
+
+def test_loop_splitting(bitset_builder):
+    """L(R{2,4}) = L(R.R{1,3})."""
+    b = bitset_builder
+
+    def prop(m, r):
+        lhs = b.loop(r, 2, 4)
+        rhs = b.concat([r, b.loop(r, 1, 3)])
+        assert lang(m, lhs) == lang(m, rhs)
+
+    run(b, prop, pairs=False, max_examples=50)
+
+
+def test_difference_identity(bitset_builder):
+    """L(R) = (L(R) \\ L(S)) ∪ (L(R) ∩ L(S))."""
+    b = bitset_builder
+
+    def prop(m, r, s):
+        left = lang(m, b.diff(r, s)) | lang(m, b.inter([r, s]))
+        assert left == lang(m, r)
+
+    run(b, prop, max_examples=60)

@@ -1,0 +1,221 @@
+"""Concrete regex parser: syntax coverage, errors, round-trips."""
+
+import pytest
+
+from repro.errors import RegexSyntaxError
+from repro.regex import parse, to_pattern
+from repro.regex.ast import COMPL, INF, INTER, LOOP, PRED, UNION
+from tests.strategies import extended_regexes
+
+
+class TestBasics:
+    def test_literal(self, ascii_builder):
+        assert parse(ascii_builder, "abc") is ascii_builder.string("abc")
+
+    def test_empty_pattern_is_epsilon(self, ascii_builder):
+        assert parse(ascii_builder, "") is ascii_builder.epsilon
+
+    def test_group_epsilon(self, ascii_builder):
+        assert parse(ascii_builder, "()") is ascii_builder.epsilon
+
+    def test_empty_class_is_bottom(self, ascii_builder):
+        assert parse(ascii_builder, "[]") is ascii_builder.empty
+
+    def test_dot(self, ascii_builder):
+        assert parse(ascii_builder, ".") is ascii_builder.dot
+
+    def test_alternation_precedence(self, ascii_builder):
+        b = ascii_builder
+        r = parse(b, "ab|cd")
+        assert r is b.union([b.string("ab"), b.string("cd")])
+
+    def test_intersection_binds_tighter_than_union(self, ascii_builder):
+        r = parse(ascii_builder, "a|b&c")
+        assert r.kind == UNION
+
+    def test_complement_prefix(self, ascii_builder):
+        b = ascii_builder
+        assert parse(b, "~(ab)") is b.compl(b.string("ab"))
+
+    def test_complement_of_intersection_operand(self, ascii_builder):
+        r = parse(ascii_builder, "~a&b")
+        assert r.kind == INTER
+
+    def test_non_capturing_group(self, ascii_builder):
+        b = ascii_builder
+        assert parse(b, "(?:ab)c") is b.string("abc")
+
+
+class TestQuantifiers:
+    def test_star_plus_opt(self, ascii_builder):
+        b = ascii_builder
+        a = b.char("a")
+        assert parse(b, "a*") is b.star(a)
+        assert parse(b, "a+") is b.plus(a)
+        assert parse(b, "a?") is b.opt(a)
+
+    def test_bounded_loops(self, ascii_builder):
+        b = ascii_builder
+        a = b.char("a")
+        assert parse(b, "a{3}") is b.loop(a, 3, 3)
+        assert parse(b, "a{2,5}") is b.loop(a, 2, 5)
+        assert parse(b, "a{4,}") is b.loop(a, 4, INF)
+
+    def test_lazy_markers_ignored(self, ascii_builder):
+        b = ascii_builder
+        assert parse(b, "a*?") is b.star(b.char("a"))
+        assert parse(b, "a{2,3}?") is b.loop(b.char("a"), 2, 3)
+
+    def test_literal_brace_when_not_a_bound(self, ascii_builder):
+        b = ascii_builder
+        assert parse(b, "a{x}") is b.string("a{x}")
+
+    def test_nothing_to_repeat(self, ascii_builder):
+        with pytest.raises(RegexSyntaxError):
+            parse(ascii_builder, "*a")
+
+    def test_reversed_bounds_rejected(self, ascii_builder):
+        with pytest.raises(RegexSyntaxError):
+            parse(ascii_builder, "a{5,2}")
+
+
+class TestClasses:
+    def test_simple_class(self, ascii_builder):
+        b = ascii_builder
+        r = parse(b, "[abc]")
+        assert r is b.pred(b.algebra.from_chars("abc"))
+
+    def test_range_class(self, ascii_builder):
+        b = ascii_builder
+        assert parse(b, "[a-f]") is b.ranges([("a", "f")])
+
+    def test_negated_class(self, ascii_builder):
+        b = ascii_builder
+        r = parse(b, "[^a]")
+        assert r is b.pred(b.algebra.neg(b.algebra.from_char("a")))
+
+    def test_class_with_escape(self, ascii_builder):
+        b = ascii_builder
+        r = parse(b, r"[\d]")
+        assert r is parse(b, r"\d")
+
+    def test_class_mixed_ranges_and_chars(self, ascii_builder):
+        b = ascii_builder
+        r = parse(b, "[a-cx0-2]")
+        expected = b.pred(b.algebra.from_ranges([("a", "c"), ("x", "x"), ("0", "2")]))
+        assert r is expected
+
+    def test_trailing_dash_literal(self, ascii_builder):
+        b = ascii_builder
+        r = parse(b, r"[a\-]")
+        assert r is b.pred(b.algebra.from_chars("a-"))
+
+    def test_reversed_range_rejected(self, ascii_builder):
+        with pytest.raises(RegexSyntaxError):
+            parse(ascii_builder, "[z-a]")
+
+
+class TestEscapes:
+    def test_class_escapes(self, bmp_builder):
+        from repro.alphabet import charclass
+
+        b = bmp_builder
+        assert parse(b, r"\d") is b.pred(charclass.digit(b.algebra))
+        assert parse(b, r"\W") is b.pred(charclass.not_word(b.algebra))
+
+    def test_control_escapes(self, ascii_builder):
+        b = ascii_builder
+        assert parse(b, r"\n") is b.char("\n")
+        assert parse(b, r"\t") is b.char("\t")
+
+    def test_hex_and_unicode_escapes(self, bmp_builder):
+        b = bmp_builder
+        assert parse(b, r"\x41") is b.char("A")
+        assert parse(b, r"A") is b.char("A")
+        assert parse(b, r"\u{41}") is b.char("A")
+
+    def test_escaped_metachars(self, ascii_builder):
+        b = ascii_builder
+        assert parse(b, r"\*\(\)\~\&") is b.string("*()~&")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "(a", "a)", "[a", "(?", "(?=x)", "*a", "a**|)"
+    ])
+    def test_malformed_patterns(self, ascii_builder, bad):
+        with pytest.raises(RegexSyntaxError):
+            parse(ascii_builder, bad)
+
+    def test_empty_alternative_is_epsilon(self, ascii_builder):
+        b = ascii_builder
+        assert parse(b, "a|") is b.union([b.char("a"), b.epsilon])
+
+    def test_error_carries_position(self, ascii_builder):
+        with pytest.raises(RegexSyntaxError) as info:
+            parse(ascii_builder, "ab)cd")
+        assert info.value.position == 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("pattern", [
+        "abc", "a|b", "a&b", "~(ab)", "(ab)*", "a{2,5}", "[a-f]",
+        r"(.*\d.*)&~(.*01.*)", r"\d{4}-[a-zA-Z]{3}-\d{2}",
+        "(a|b)+c?", "a{3,}", "[^a-c]*",
+    ])
+    def test_print_parse_identity(self, bmp_builder, pattern):
+        b = bmp_builder
+        r = parse(b, pattern)
+        assert parse(b, to_pattern(r, b.algebra)) is r
+
+
+def test_roundtrip_random_regexes(bitset_builder):
+    """Print→parse is the identity on randomly built regexes."""
+    from hypothesis import given, settings
+
+    b = bitset_builder
+
+    @settings(max_examples=150, deadline=None)
+    @given(extended_regexes(b))
+    def check(r):
+        assert parse(b, to_pattern(r, b.algebra)) is r
+
+    check()
+
+
+class TestCaseInsensitive:
+    def test_flag_folds_literals(self, ascii_builder):
+        from repro.regex.semantics import matches
+
+        b = ascii_builder
+        r = parse(b, "(?i)abc")
+        for s in ("abc", "ABC", "aBc"):
+            assert matches(b.algebra, r, s)
+        assert not matches(b.algebra, r, "abd")
+
+    def test_flag_folds_classes_and_ranges(self, ascii_builder):
+        from repro.regex.semantics import matches
+
+        b = ascii_builder
+        r = parse(b, "(?i)[a-c]+")
+        assert matches(b.algebra, r, "aBcC")
+        assert not matches(b.algebra, r, "d")
+
+    def test_negated_class_folds_before_negating(self, ascii_builder):
+        from repro.regex.semantics import matches
+
+        b = ascii_builder
+        r = parse(b, "(?i)[^a]")
+        assert not matches(b.algebra, r, "a")
+        assert not matches(b.algebra, r, "A")
+        assert matches(b.algebra, r, "b")
+
+    def test_flag_off_by_default(self, ascii_builder):
+        from repro.regex.semantics import matches
+
+        b = ascii_builder
+        assert not matches(b.algebra, parse(b, "abc"), "ABC")
+
+    def test_digits_unaffected(self, ascii_builder):
+        b = ascii_builder
+        assert parse(b, "(?i)5") is b.char("5")

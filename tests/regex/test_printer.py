@@ -1,0 +1,92 @@
+"""Pattern rendering."""
+
+from repro.regex import parse, to_pattern
+from repro.regex.printer import escape_char, render_pred
+
+
+def test_escape_char_printable():
+    assert escape_char(ord("a")) == "a"
+    assert escape_char(ord("*")) == "\\*"
+    assert escape_char(ord("\n")) == "\\n"
+
+
+def test_escape_char_unicode():
+    assert escape_char(0x2603) == "\\u2603"
+    assert escape_char(0x1F600) == "\\u{1f600}"
+
+
+def test_escape_in_class_context():
+    assert escape_char(ord("-"), in_class=True) == "\\-"
+    assert escape_char(ord("]"), in_class=True) == "\\]"
+    assert escape_char(ord("*"), in_class=True) == "*"
+
+
+def test_render_top_is_dot(bmp_builder):
+    assert to_pattern(bmp_builder.dot, bmp_builder.algebra) == "."
+
+
+def test_render_singleton(bmp_builder):
+    assert to_pattern(parse(bmp_builder, "x"), bmp_builder.algebra) == "x"
+
+
+def test_render_class(bmp_builder):
+    b = bmp_builder
+    assert to_pattern(parse(b, "[a-f0]"), b.algebra) == "[0a-f]"
+
+
+def test_render_empty_and_epsilon(bmp_builder):
+    b = bmp_builder
+    assert to_pattern(b.empty, b.algebra) == "[]"
+    assert to_pattern(b.epsilon, b.algebra) == "()"
+
+
+def test_render_loops(bmp_builder):
+    b = bmp_builder
+    a = b.char("a")
+    assert to_pattern(b.star(a), b.algebra) == "a*"
+    assert to_pattern(b.plus(a), b.algebra) == "a+"
+    assert to_pattern(b.opt(a), b.algebra) == "a?"
+    assert to_pattern(b.loop(a, 3, 3), b.algebra) == "a{3}"
+    assert to_pattern(b.loop(a, 2, 5), b.algebra) == "a{2,5}"
+    assert to_pattern(b.loop(a, 4), b.algebra) == "a{4,}"
+
+
+def test_render_group_when_needed(bmp_builder):
+    b = bmp_builder
+    r = b.star(b.string("ab"))
+    assert to_pattern(r, b.algebra) == "(ab)*"
+
+
+def test_render_boolean_precedence(bmp_builder):
+    b = bmp_builder
+    r = parse(b, "a|b&c")
+    text = to_pattern(r, b.algebra)
+    assert parse(b, text) is r
+
+
+def test_render_complement_parenthesized_in_concat(bmp_builder):
+    b = bmp_builder
+    r = b.concat([b.char("a"), b.compl(b.char("b")), b.char("c")])
+    text = to_pattern(r, b.algebra)
+    assert parse(b, text) is r
+
+
+def test_render_bitset_pred(bitset_builder):
+    b = bitset_builder
+    assert to_pattern(b.dot, b.algebra) == "."
+    assert to_pattern(b.char("a"), b.algebra) == "a"
+    assert to_pattern(
+        b.pred(b.algebra.from_chars("a0")), b.algebra
+    ) == "[a0]"
+
+
+def test_render_pred_without_algebra_falls_back():
+    class Opaque:
+        pass
+
+    assert render_pred(Opaque()) == "<pred>"
+
+
+def test_repr_never_raises(bmp_builder):
+    r = parse(bmp_builder, "(a|b){2,4}&~(c)")
+    assert "Regex(" in repr(r)

@@ -1,0 +1,115 @@
+"""Reference semantics: cross-checked against Python's ``re`` module
+on the standard fragment, plus direct checks for the extended
+operators ``re`` cannot express."""
+
+import re as pyre
+
+import pytest
+from hypothesis import given, settings
+
+from repro.regex import language_upto, matches, parse
+from repro.regex.semantics import Matcher, enumerate_strings
+from tests.strategies import short_strings, standard_regexes
+
+# patterns expressible both by us and by Python's re (full match)
+STANDARD_PATTERNS = [
+    "ab0", "a*", "(ab)*", "a|b", "(a|b)*", "a+b?", "a{2,4}", "a{3}",
+    "[ab][01]", "[^a]*", "(a|b){1,3}0", "a(b|0)*1", "(a*b)*",
+    "(a|ab)(b|)", "0?1?a?b?",
+]
+
+
+@pytest.mark.parametrize("pattern", STANDARD_PATTERNS)
+def test_agrees_with_python_re(bitset_builder, pattern):
+    b = bitset_builder
+    ours = parse(b, pattern)
+    theirs = pyre.compile(pattern)
+    matcher = Matcher(b.algebra)
+    for s in enumerate_strings("ab01", 4):
+        assert matcher.matches(ours, s) == bool(theirs.fullmatch(s)), (
+            pattern, s,
+        )
+
+
+def test_complement_semantics(bitset_builder):
+    b = bitset_builder
+    r = parse(b, "~(a*)")
+    matcher = Matcher(b.algebra)
+    for s in enumerate_strings("ab01", 3):
+        assert matcher.matches(r, s) == (not pyre.fullmatch("a*", s))
+
+
+def test_intersection_semantics(bitset_builder):
+    b = bitset_builder
+    r = parse(b, "(a|b)*&(.*b.*)")
+    lang = language_upto(b.algebra, r, "ab01", 3)
+    expected = {
+        s for s in enumerate_strings("ab01", 3)
+        if set(s) <= {"a", "b"} and "b" in s
+    }
+    assert lang == expected
+
+
+def test_loop_with_nullable_body(bitset_builder):
+    b = bitset_builder
+    r = parse(b, "(a?){3}")
+    assert language_upto(b.algebra, r, "ab01", 4) == {"", "a", "aa", "aaa"}
+
+
+def test_loop_unbounded_nullable_body_terminates(bitset_builder):
+    b = bitset_builder
+    r = parse(b, "(a?)*b")
+    matcher = Matcher(b.algebra)
+    assert matcher.matches(r, "aab")
+    assert not matcher.matches(r, "ba")
+
+
+def test_empty_language(bitset_builder):
+    b = bitset_builder
+    assert language_upto(b.algebra, b.empty, "ab01", 2) == set()
+
+
+def test_epsilon_language(bitset_builder):
+    b = bitset_builder
+    assert language_upto(b.algebra, b.epsilon, "ab01", 2) == {""}
+
+
+def test_concat_split_enumeration(bitset_builder):
+    b = bitset_builder
+    r = parse(b, "a*a*a*")
+    matcher = Matcher(b.algebra)
+    assert matcher.matches(r, "aaaa")
+    assert not matcher.matches(r, "ab")
+
+
+def test_memo_isolated_between_strings(bitset_builder):
+    matcher = Matcher(bitset_builder.algebra)
+    r = parse(bitset_builder, "(a|b)*")
+    assert matcher.matches(r, "ab")
+    assert not matcher.matches(r, "a0")
+    assert matcher.matches(r, "ab")  # still correct after the miss
+
+
+def test_nullability_agrees_with_matching_empty(bitset_builder):
+    b = bitset_builder
+
+    @settings(max_examples=200, deadline=None)
+    @given(standard_regexes(b))
+    def check(r):
+        assert r.nullable == matches(b.algebra, r, "")
+
+    check()
+
+
+def test_derivative_free_oracle_total(bitset_builder):
+    """The oracle answers on every (regex, string) pair we can draw."""
+    b = bitset_builder
+    matcher = Matcher(b.algebra)
+
+    @settings(max_examples=150, deadline=None)
+    @given(standard_regexes(b), short_strings(4))
+    def check(r, s):
+        result = matcher.matches(r, s)
+        assert result in (True, False)
+
+    check()

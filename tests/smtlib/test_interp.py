@@ -1,0 +1,50 @@
+"""End-to-end script execution."""
+
+from repro.smtlib.interp import run_file, run_script
+
+FIG1 = '''
+(set-logic QF_S)
+(set-info :status sat)
+(declare-const date String)
+(assert (str.in_re date (re.++ ((_ re.^ 4) (re.range "0" "9")) (str.to_re "-")
+  ((_ re.^ 3) (re.union (re.range "a" "z") (re.range "A" "Z"))) (str.to_re "-")
+  ((_ re.^ 2) (re.range "0" "9")))))
+(assert (or (str.in_re date (re.++ (str.to_re "2019") re.all))
+            (str.in_re date (re.++ (str.to_re "2020") re.all))))
+(check-sat)
+'''
+
+
+def test_figure_1_policy_sat(bmp_builder):
+    result = run_script(bmp_builder, FIG1)
+    assert result.is_sat
+    assert result.stats["expected"] == "sat"
+    date = result.model["date"]
+    assert date.startswith(("2019", "2020"))
+    assert len(date) == 11
+
+
+def test_figure_1_misplaced_anchor_unsat(bmp_builder):
+    buggy = FIG1.replace(
+        '(re.++ (str.to_re "2019") re.all)',
+        '(re.++ re.all (str.to_re "2019"))',
+    ).replace(
+        '(re.++ (str.to_re "2020") re.all)',
+        '(re.++ re.all (str.to_re "2020"))',
+    )
+    assert run_script(bmp_builder, buggy).is_unsat
+
+
+def test_run_file(tmp_path, bmp_builder):
+    path = tmp_path / "bench.smt2"
+    path.write_text(FIG1)
+    assert run_file(bmp_builder, str(path)).is_sat
+
+
+def test_trivial_scripts(bmp_builder):
+    assert run_script(
+        bmp_builder, "(set-logic QF_S)(assert true)(check-sat)"
+    ).is_sat
+    assert run_script(
+        bmp_builder, "(set-logic QF_S)(assert false)(check-sat)"
+    ).is_unsat

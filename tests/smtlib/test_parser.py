@@ -1,0 +1,147 @@
+"""SMT-LIB script parsing."""
+
+import pytest
+
+from repro.errors import SmtLibError
+from repro.regex import to_pattern
+from repro.regex.ast import INF
+from repro.smtlib.parser import parse_script
+from repro.solver import formula as F
+
+HEADER = "(set-logic QF_S)(declare-const x String)(declare-const y String)"
+
+
+def parse_formula(builder, body):
+    return parse_script(builder, HEADER + "(assert %s)(check-sat)" % body)
+
+
+def test_declarations_and_commands(bmp_builder):
+    script = parse_script(
+        bmp_builder,
+        '(set-logic QF_S)(set-info :status sat)'
+        '(declare-fun s () String)(assert true)(check-sat)(exit)',
+    )
+    assert script.logic == "QF_S"
+    assert script.variables == ["s"]
+    assert script.expected_status() == "sat"
+    assert script.commands == ["check-sat", "exit"]
+
+
+def test_in_re_and_regex_algebra(bmp_builder):
+    script = parse_formula(
+        bmp_builder,
+        '(str.in_re x (re.++ (str.to_re "ab") '
+        '(re.union (re.range "0" "9") (str.to_re "z"))))',
+    )
+    atom = script.assertions[0]
+    assert isinstance(atom, F.InRe)
+    assert to_pattern(atom.regex, bmp_builder.algebra) == "ab[0-9z]"
+
+
+def test_boolean_structure(bmp_builder):
+    script = parse_formula(
+        bmp_builder,
+        '(and (or (str.in_re x re.all) (not (= x "q"))) true)',
+    )
+    f = script.assertions[0]
+    assert isinstance(f, F.And)
+
+
+def test_implication_desugars(bmp_builder):
+    script = parse_formula(bmp_builder, '(=> (= x "a") (= y "b"))')
+    f = script.assertions[0]
+    assert isinstance(f, F.Or)
+
+
+def test_length_comparisons(bmp_builder):
+    script = parse_formula(bmp_builder, "(<= (str.len x) 5)")
+    atom = script.assertions[0]
+    assert isinstance(atom, F.LenCmp) and atom.op == "<=" and atom.bound == 5
+
+
+def test_length_reversed_order(bmp_builder):
+    script = parse_formula(bmp_builder, "(>= 5 (str.len x))")
+    atom = script.assertions[0]
+    assert atom.op == "<=" and atom.bound == 5
+
+
+def test_equality_with_literal_both_orders(bmp_builder):
+    left = parse_formula(bmp_builder, '(= x "ab")').assertions[0]
+    right = parse_formula(bmp_builder, '(= "ab" x)').assertions[0]
+    assert isinstance(left, F.EqConst) and isinstance(right, F.EqConst)
+    assert left.value == right.value == "ab"
+
+
+def test_contains_prefix_suffix(bmp_builder):
+    script = parse_formula(
+        bmp_builder,
+        '(and (str.contains x "mid") (str.prefixof "pre" x)'
+        ' (str.suffixof "suf" x))',
+    )
+    kinds = {type(a).__name__ for a in script.assertions[0].children}
+    assert kinds == {"Contains", "PrefixOf", "SuffixOf"}
+
+
+def test_regex_loop_and_power(bmp_builder):
+    script = parse_formula(
+        bmp_builder,
+        '(str.in_re x (re.++ ((_ re.loop 2 4) (str.to_re "a"))'
+        ' ((_ re.^ 3) (str.to_re "b"))))',
+    )
+    regex = script.assertions[0].regex
+    assert to_pattern(regex, bmp_builder.algebra) == "a{2,4}b{3}"
+
+
+def test_regex_constants(bmp_builder):
+    b = bmp_builder
+    script = parse_formula(
+        b, "(str.in_re x (re.union re.none re.allchar re.all))"
+    )
+    assert script.assertions[0].regex is b.full
+
+
+def test_re_diff_and_comp(bmp_builder):
+    b = bmp_builder
+    script = parse_formula(
+        b,
+        '(str.in_re x (re.diff re.all (re.comp (str.to_re "a"))))',
+    )
+    # all minus ~(a) = a
+    assert script.assertions[0].regex is b.string("a")
+
+
+def test_invalid_range_is_empty(bmp_builder):
+    b = bmp_builder
+    script = parse_formula(b, '(str.in_re x (re.range "z" "a"))')
+    assert script.assertions[0].regex is b.empty
+
+
+def test_star_plus_opt(bmp_builder):
+    b = bmp_builder
+    script = parse_formula(
+        b,
+        '(str.in_re x (re.++ (re.* (str.to_re "a"))'
+        ' (re.+ (str.to_re "b")) (re.opt (str.to_re "c"))))',
+    )
+    assert to_pattern(script.assertions[0].regex, b.algebra) == "a*b+c?"
+
+
+@pytest.mark.parametrize("bad", [
+    "(declare-const x Int)",
+    "(assert (str.in_re y re.all))",   # y undeclared at that point
+    "(frobnicate)",
+    "(assert (str.in_re x (re.magic)))",
+    "(assert (< x 5))",
+])
+def test_malformed_scripts(bmp_builder, bad):
+    with pytest.raises(SmtLibError):
+        parse_script(bmp_builder, "(set-logic QF_S)" + bad)
+
+
+def test_multiple_assertions_conjoin(bmp_builder):
+    script = parse_script(
+        bmp_builder,
+        HEADER + '(assert (= x "a"))(assert (= y "b"))(check-sat)',
+    )
+    assert isinstance(script.formula, F.And)
+    assert len(script.formula.children) == 2

@@ -1,0 +1,59 @@
+"""S-expression reader and string-literal codec."""
+
+import pytest
+
+from repro.errors import SmtLibError
+from repro.smtlib.sexpr import StrLit, encode_string, read_all, tokenize
+
+
+def test_basic_read():
+    forms = read_all("(assert (= x 1)) (check-sat)")
+    assert forms == [["assert", ["=", "x", "1"]], ["check-sat"]]
+
+
+def test_comments_ignored():
+    forms = read_all("; a comment\n(exit) ; trailing")
+    assert forms == [["exit"]]
+
+
+def test_string_literal():
+    forms = read_all('(= x "hello world")')
+    assert forms[0][2] == StrLit("hello world")
+
+
+def test_quote_doubling():
+    forms = read_all('(f "say ""hi""")')
+    assert forms[0][1] == StrLit('say "hi"')
+
+
+def test_unicode_escapes():
+    assert read_all('(f "\\u{41}")')[0][1] == StrLit("A")
+    assert read_all('(f "\\u0042")')[0][1] == StrLit("B")
+
+
+def test_quoted_symbol():
+    assert read_all("(|weird name|)") == [["weird name"]]
+
+
+def test_unbalanced_raises():
+    with pytest.raises(SmtLibError):
+        read_all("(a (b)")
+    with pytest.raises(SmtLibError):
+        read_all("a)")
+
+
+def test_unterminated_string():
+    with pytest.raises(SmtLibError):
+        read_all('(f "oops)')
+
+
+def test_encode_decode_roundtrip():
+    for value in ("plain", 'has "quotes"', "uni☃code", "new\nline", ""):
+        encoded = encode_string(value)
+        decoded = read_all("(f %s)" % encoded)[0][1]
+        assert decoded == StrLit(value)
+
+
+def test_tokenize_stream():
+    tokens = list(tokenize('(a "b" c)'))
+    assert tokens == ["(", "a", StrLit("b"), "c", ")"]

@@ -1,0 +1,83 @@
+"""Incremental push/pop solving and graph persistence across scopes."""
+
+import pytest
+
+from repro.regex import parse
+from repro.solver import formula as F
+from repro.solver.context import SolverContext
+
+
+def inre(builder, var, pattern):
+    return F.InRe(var, parse(builder, pattern))
+
+
+@pytest.fixture
+def ctx(bitset_builder):
+    return SolverContext(bitset_builder)
+
+
+def test_empty_context_is_sat(ctx):
+    assert ctx.check_sat().is_sat
+
+
+def test_assert_and_check(ctx, bitset_builder):
+    ctx.assert_formula(inre(bitset_builder, "x", "a+"))
+    result = ctx.check_sat()
+    assert result.is_sat
+    assert result.model["x"].startswith("a")
+
+
+def test_push_pop_restores(ctx, bitset_builder):
+    ctx.assert_formula(inre(bitset_builder, "x", "a+"))
+    ctx.push()
+    ctx.assert_formula(F.Not(inre(bitset_builder, "x", "a*")))
+    assert ctx.check_sat().is_unsat
+    ctx.pop()
+    assert ctx.check_sat().is_sat
+    assert ctx.scope_depth == 0
+
+
+def test_nested_scopes(ctx, bitset_builder):
+    ctx.push()
+    ctx.assert_formula(inre(bitset_builder, "x", "(ab)+"))
+    ctx.push()
+    ctx.assert_formula(F.LenCmp("x", "=", 3))
+    assert ctx.check_sat().is_unsat  # (ab)+ has even lengths
+    ctx.pop()
+    ctx.assert_formula(F.LenCmp("x", "=", 4))
+    assert ctx.check_sat().is_sat
+    ctx.pop()
+    assert ctx.scope_depth == 0 and not ctx.assertions()
+
+
+def test_pop_outermost_raises(ctx):
+    with pytest.raises(IndexError):
+        ctx.pop()
+
+
+def test_check_sat_assuming_leaves_no_trace(ctx, bitset_builder):
+    ctx.assert_formula(inre(bitset_builder, "x", "(a|b)*"))
+    result = ctx.check_sat_assuming(
+        [F.Not(inre(bitset_builder, "x", ".*"))]
+    )
+    assert result.is_unsat
+    assert ctx.scope_depth == 0
+    assert ctx.check_sat().is_sat
+
+
+def test_graph_persists_across_pop(ctx, bitset_builder):
+    """Derivative/deadness knowledge survives scope popping."""
+    dead_constraint = inre(bitset_builder, "x", "(ab)+&~((ab)*)")
+    ctx.push()
+    ctx.assert_formula(dead_constraint)
+    assert ctx.check_sat().is_unsat
+    vertices_after_first = ctx.graph_stats["vertices"]
+    dead_after_first = ctx.graph_stats["dead"]
+    ctx.pop()
+    # re-asserting in a fresh scope reuses the dead verdict (bot rule)
+    ctx.push()
+    ctx.assert_formula(dead_constraint)
+    assert ctx.check_sat().is_unsat
+    assert ctx.graph_stats["vertices"] == vertices_after_first
+    assert ctx.graph_stats["dead"] >= dead_after_first
+    ctx.pop()

@@ -1,0 +1,89 @@
+"""Bisimulation-based equivalence: agreement with the emptiness-based
+reduction, and the up-to-congruence speedup."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.regex import parse
+from repro.regex.semantics import Matcher
+from repro.solver import Budget, RegexSolver
+from repro.solver.equivalence import BisimulationChecker
+from tests.strategies import extended_regexes
+
+EQUIV_PAIRS = [
+    ("(a|b)*", "(a*b*)*"),
+    ("a*", "a*a*"),
+    ("~(~(ab))", "ab"),
+    ("(ab)*a", "a(ba)*"),
+    ("a*&b*", "()"),
+    ("~(a*)|a*", ".*"),
+    ("(a|b){2}", "aa|ab|ba|bb"),
+]
+
+INEQUIV_PAIRS = [
+    ("a*b*", "(a|b)*"),
+    ("(ab)+", "(ab)*"),
+    ("~(a)", ".*"),
+    ("a{2,4}", "a{2,5}"),
+    (".*ab.*", ".*ba.*"),
+]
+
+
+@pytest.fixture
+def checker(bitset_builder):
+    return BisimulationChecker(bitset_builder)
+
+
+@pytest.mark.parametrize("left,right", EQUIV_PAIRS)
+def test_equivalent_pairs(checker, bitset_builder, left, right):
+    result = checker.equivalent(
+        parse(bitset_builder, left), parse(bitset_builder, right)
+    )
+    assert result.is_sat, (left, right)
+
+
+@pytest.mark.parametrize("left,right", INEQUIV_PAIRS)
+def test_inequivalent_pairs_with_witness(checker, bitset_builder,
+                                         bitset_matcher, left, right):
+    l = parse(bitset_builder, left)
+    r = parse(bitset_builder, right)
+    result = checker.equivalent(l, r)
+    assert result.is_unsat
+    w = result.witness
+    assert bitset_matcher.matches(l, w) != bitset_matcher.matches(r, w)
+
+
+def test_agrees_with_symmetric_difference(bitset_builder):
+    checker = BisimulationChecker(bitset_builder)
+    solver = RegexSolver(bitset_builder)
+
+    @settings(max_examples=80, deadline=None)
+    @given(extended_regexes(bitset_builder, max_leaves=5),
+           extended_regexes(bitset_builder, max_leaves=5))
+    def check(l, r):
+        via_bisim = checker.equivalent(l, r, Budget(fuel=50000))
+        via_empty = solver.equivalent(l, r, Budget(fuel=50000))
+        assert via_bisim.status == via_empty.status
+
+    check()
+
+
+def test_containment_via_union(checker, bitset_builder):
+    sub = parse(bitset_builder, "(ab){2,3}")
+    sup = parse(bitset_builder, "(ab)+")
+    assert checker.contains(sub, sup).is_sat
+    assert checker.contains(sup, sub).is_unsat
+
+
+def test_budget_respected(checker, ascii_builder):
+    checker = BisimulationChecker(ascii_builder)
+    l = parse(ascii_builder, "~(.*a.{20})")
+    r = parse(ascii_builder, "~(.*b.{20})")
+    result = checker.equivalent(l, r, Budget(fuel=3))
+    assert result.status in ("unsat", "unknown")
+
+
+def test_identical_regexes_trivial(checker, bitset_builder):
+    r = parse(bitset_builder, "(a|b)*0")
+    result = checker.equivalent(r, r, Budget(fuel=2))
+    assert result.is_sat  # identity short-circuits before any work

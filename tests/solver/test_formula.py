@@ -1,0 +1,118 @@
+"""Formula atoms, NNF, and the Boolean-benchmark classifier."""
+
+import pytest
+
+from repro.errors import SmtLibError
+from repro.regex import parse
+from repro.regex.semantics import Matcher, enumerate_strings
+from repro.solver import formula as F
+
+
+def atom_language(builder, atom, max_len=4, alphabet="ab01"):
+    matcher = Matcher(builder.algebra)
+    regex = atom.to_regex(builder)
+    return {
+        s for s in enumerate_strings(alphabet, max_len)
+        if matcher.matches(regex, s)
+    }
+
+
+class TestAtomsToRegex:
+    def test_in_re(self, bitset_builder):
+        r = parse(bitset_builder, "(ab)*")
+        atom = F.InRe("x", r)
+        assert atom.to_regex(bitset_builder) is r
+
+    def test_eq_const(self, bitset_builder):
+        assert atom_language(bitset_builder, F.EqConst("x", "ab")) == {"ab"}
+
+    def test_contains(self, bitset_builder):
+        lang = atom_language(bitset_builder, F.Contains("x", "01"), max_len=3)
+        assert lang == {s for s in enumerate_strings("ab01", 3) if "01" in s}
+
+    def test_prefixof(self, bitset_builder):
+        lang = atom_language(bitset_builder, F.PrefixOf("a", "x"), max_len=2)
+        assert lang == {s for s in enumerate_strings("ab01", 2)
+                        if s.startswith("a")}
+
+    def test_suffixof(self, bitset_builder):
+        lang = atom_language(bitset_builder, F.SuffixOf("1", "x"), max_len=2)
+        assert lang == {s for s in enumerate_strings("ab01", 2)
+                        if s.endswith("1")}
+
+    @pytest.mark.parametrize("op,bound,predicate", [
+        ("=", 2, lambda n: n == 2),
+        ("<", 2, lambda n: n < 2),
+        ("<=", 2, lambda n: n <= 2),
+        (">", 2, lambda n: n > 2),
+        (">=", 2, lambda n: n >= 2),
+        ("!=", 2, lambda n: n != 2),
+    ])
+    def test_length_ops(self, bitset_builder, op, bound, predicate):
+        lang = atom_language(bitset_builder, F.LenCmp("x", op, bound), max_len=4)
+        expected = {s for s in enumerate_strings("ab01", 4) if predicate(len(s))}
+        assert lang == expected
+
+    def test_length_edge_cases(self, bitset_builder):
+        b = bitset_builder
+        assert F.LenCmp("x", "=", -1).to_regex(b) is b.empty
+        assert F.LenCmp("x", "<", 0).to_regex(b) is b.empty
+        assert F.LenCmp("x", "!=", -1).to_regex(b) is b.full
+        assert F.LenCmp("x", ">=", -3).to_regex(b) is b.full
+
+    def test_bad_length_op_rejected(self):
+        with pytest.raises(SmtLibError):
+            F.LenCmp("x", "~~", 2)
+
+
+class TestStructure:
+    def test_operators_build_nodes(self):
+        a = F.EqConst("x", "a")
+        b = F.EqConst("y", "b")
+        assert isinstance(a & b, F.And)
+        assert isinstance(a | b, F.Or)
+        assert isinstance(~a, F.Not)
+
+    def test_variables(self):
+        f = F.And((F.InRe("x", None), F.Not(F.LenCmp("y", "=", 1))))
+        assert F.variables(f) == {"x", "y"}
+
+    def test_atoms_collects_all(self):
+        f = F.Or((F.EqConst("x", "a"), F.Not(F.EqConst("x", "b"))))
+        assert len(F.atoms(f)) == 2
+
+    def test_nnf_pushes_negation(self):
+        f = F.Not(F.And((F.EqConst("x", "a"), F.EqConst("y", "b"))))
+        normalized = F.nnf(f)
+        assert isinstance(normalized, F.Or)
+        assert all(isinstance(c, F.Not) for c in normalized.children)
+
+    def test_nnf_double_negation(self):
+        atom = F.EqConst("x", "a")
+        assert F.nnf(F.Not(F.Not(atom))) is atom
+
+    def test_nnf_constants(self):
+        assert F.nnf(F.Not(F.TRUE)) is F.FALSE
+        assert F.nnf(F.Not(F.FALSE)) is F.TRUE
+
+
+class TestBooleanClassifier:
+    def test_single_membership_is_not_boolean(self, bitset_builder):
+        r = parse(bitset_builder, "a*")
+        assert not F.is_boolean_combination(F.InRe("x", r))
+
+    def test_two_memberships_same_var(self, bitset_builder):
+        r = parse(bitset_builder, "a*")
+        f = F.And((F.InRe("x", r), F.Not(F.InRe("x", r))))
+        assert F.is_boolean_combination(f)
+
+    def test_memberships_on_distinct_vars(self, bitset_builder):
+        r = parse(bitset_builder, "a*")
+        f = F.And((F.InRe("x", r), F.InRe("y", r)))
+        assert not F.is_boolean_combination(f)
+
+    def test_length_atoms_do_not_count(self, bitset_builder):
+        r = parse(bitset_builder, "a*")
+        f = F.And((F.InRe("x", r), F.LenCmp("x", "<=", 5),
+                   F.Contains("x", "a")))
+        assert not F.is_boolean_combination(f)

@@ -1,0 +1,98 @@
+"""The regex reachability graph: Alive/Dead semantics of Section 5."""
+
+import pytest
+
+from repro.solver.graph import RegexGraph
+
+
+@pytest.fixture
+def graph():
+    # vertices are strings; "final" vertices end with '!'
+    return RegexGraph(is_final=lambda v: v.endswith("!"))
+
+
+def test_final_vertex_is_alive(graph):
+    graph.add_vertex("win!")
+    assert graph.is_alive("win!")
+    assert graph.is_final("win!")
+
+
+def test_alive_propagates_backwards(graph):
+    graph.add_vertex("a")
+    graph.update("a", ["b"])
+    graph.update("b", ["c!"])
+    assert graph.is_alive("a") and graph.is_alive("b")
+
+
+def test_alive_propagates_through_late_edges(graph):
+    graph.add_vertex("a")
+    graph.update("a", ["b"])
+    assert not graph.is_alive("a")
+    graph.update("b", ["ok!"])
+    assert graph.is_alive("a")
+
+
+def test_dead_requires_closed(graph):
+    graph.add_vertex("a")
+    graph.update("a", ["b"])
+    # b is not closed yet: a cannot be declared dead
+    assert not graph.is_dead("a")
+    graph.update("b", [])
+    assert graph.is_dead("a") and graph.is_dead("b")
+
+
+def test_dead_cycle(graph):
+    graph.add_vertex("x")
+    graph.update("x", ["y"])
+    graph.update("y", ["x"])
+    assert graph.is_dead("x") and graph.is_dead("y")
+
+
+def test_alive_cycle_not_dead(graph):
+    graph.add_vertex("x")
+    graph.update("x", ["y"])
+    graph.update("y", ["x", "exit!"])
+    assert not graph.is_dead("x")
+    assert graph.is_alive("x")
+
+
+def test_dead_is_cached_and_permanent(graph):
+    graph.add_vertex("a")
+    graph.update("a", [])
+    assert graph.is_dead("a")
+    assert graph.dead_count == 1
+    assert graph.is_dead("a")
+
+
+def test_update_is_idempotent_once_closed(graph):
+    graph.add_vertex("a")
+    graph.update("a", ["b"])
+    graph.update("a", ["c!"])  # ignored: a is closed
+    assert "c!" not in graph.successors("a")
+
+
+def test_unknown_vertex_not_dead(graph):
+    assert not graph.is_dead("nowhere")
+
+
+def test_stats(graph):
+    graph.add_vertex("a")
+    graph.update("a", ["b!", "c"])
+    stats = graph.stats()
+    assert stats["vertices"] == 3
+    assert stats["edges"] == 2
+    assert stats["final"] == 1
+    assert stats["closed"] == 1
+    assert stats["alive"] >= 2
+
+
+def test_same_scc(graph):
+    graph.add_vertex("p")
+    graph.update("p", ["q"])
+    graph.update("q", ["p"])
+    assert graph.same_scc("p", "q")
+
+
+def test_len_and_contains(graph):
+    graph.add_vertex("v")
+    assert "v" in graph and len(graph) == 1

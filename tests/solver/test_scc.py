@@ -1,0 +1,105 @@
+"""Incremental SCC maintenance, cross-checked against Tarjan on the
+accumulated edge set."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.scc import IncrementalSCC
+
+
+def tarjan_sccs(nodes, edges):
+    """Reference: classic iterative Tarjan."""
+    adjacency = {n: [] for n in nodes}
+    for a, b in edges:
+        adjacency[a].append(b)
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    result = {}
+    counter = [0]
+
+    def strongconnect(v):
+        work = [(v, 0)]
+        while work:
+            node, pi = work.pop()
+            if pi == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            for i in range(pi, len(adjacency[node])):
+                w = adjacency[node][i]
+                if w not in index:
+                    work.append((node, i + 1))
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if recurse:
+                continue
+            if low[node] == index[node]:
+                component = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.add(w)
+                    if w == node:
+                        break
+                rep = min(component)
+                for w in component:
+                    result[w] = rep
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    for n in nodes:
+        if n not in index:
+            strongconnect(n)
+    return result
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=30
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(edge_lists)
+def test_matches_tarjan(edges):
+    scc = IncrementalSCC()
+    nodes = set()
+    for a, b in edges:
+        nodes.add(a)
+        nodes.add(b)
+        scc.add_edge(a, b)
+    reference = tarjan_sccs(nodes, edges)
+    for a in nodes:
+        for b in nodes:
+            assert scc.same_component(a, b) == (reference[a] == reference[b])
+
+
+def test_simple_cycle_collapse():
+    scc = IncrementalSCC()
+    scc.add_edge(1, 2)
+    scc.add_edge(2, 3)
+    assert not scc.same_component(1, 3)
+    merged = scc.add_edge(3, 1)
+    assert merged
+    assert scc.same_component(1, 3) and scc.same_component(2, 3)
+
+
+def test_self_loop_is_noop():
+    scc = IncrementalSCC()
+    scc.add_node(5)
+    assert scc.add_edge(5, 5) == set()
+    assert scc.same_component(5, 5)
+
+
+def test_successors_exclude_own_component():
+    scc = IncrementalSCC()
+    scc.add_edge(1, 2)
+    scc.add_edge(2, 1)
+    scc.add_edge(1, 3)
+    assert scc.successors(2) == {scc.find(3)}

@@ -1,0 +1,126 @@
+"""The mini-SMT layer: Boolean structure over regex goals."""
+
+import pytest
+
+from repro.regex import parse
+from repro.solver import Budget, SmtSolver
+from repro.solver import formula as F
+
+
+@pytest.fixture
+def solver(bitset_builder):
+    return SmtSolver(bitset_builder)
+
+
+def inre(builder, var, pattern):
+    return F.InRe(var, parse(builder, pattern))
+
+
+def test_single_membership(solver, bitset_builder):
+    result = solver.solve(inre(bitset_builder, "x", "(ab)+"))
+    assert result.is_sat
+    assert result.model["x"] == "ab"
+
+
+def test_conjunction_collapses_to_intersection(solver, bitset_builder):
+    f = F.And((
+        inre(bitset_builder, "x", ".*a.*"),
+        inre(bitset_builder, "x", ".*0.*"),
+        F.LenCmp("x", "=", 2),
+    ))
+    result = solver.solve(f)
+    assert result.is_sat
+    assert sorted(result.model["x"]) == ["0", "a"]
+
+
+def test_negated_membership_becomes_complement(solver, bitset_builder):
+    f = F.And((
+        inre(bitset_builder, "x", "(a|b)+"),
+        F.Not(inre(bitset_builder, "x", ".*a.*")),
+    ))
+    result = solver.solve(f)
+    assert result.is_sat
+    assert "a" not in result.model["x"] and result.model["x"]
+
+
+def test_unsat_conjunction(solver, bitset_builder):
+    f = F.And((
+        inre(bitset_builder, "x", "a+"),
+        F.Not(inre(bitset_builder, "x", "a*")),
+    ))
+    assert solver.solve(f).is_unsat
+
+
+def test_disjunction_picks_live_branch(solver, bitset_builder):
+    f = F.Or((
+        F.And((inre(bitset_builder, "x", "a"),
+               F.Not(inre(bitset_builder, "x", "a")))),
+        inre(bitset_builder, "x", "b"),
+    ))
+    result = solver.solve(f)
+    assert result.is_sat
+    assert result.model["x"] == "b"
+
+
+def test_multiple_variables(solver, bitset_builder):
+    f = F.And((
+        inre(bitset_builder, "x", "a+"),
+        inre(bitset_builder, "y", "b+"),
+        F.LenCmp("y", ">=", 2),
+    ))
+    result = solver.solve(f)
+    assert result.model["x"].startswith("a")
+    assert result.model["y"] == "bb"
+
+
+def test_model_checks_out(solver, bitset_builder):
+    f = F.And((
+        inre(bitset_builder, "x", "(.*0.*)&~(.*01.*)"),
+        F.LenCmp("x", ">=", 2),
+        F.Or((F.EqConst("y", "ab"), F.EqConst("y", "ba"))),
+    ))
+    result = solver.solve(f)
+    assert result.is_sat
+    assert solver.check_model(f, result.model)
+
+
+def test_check_model_rejects_bad_model(solver, bitset_builder):
+    f = inre(bitset_builder, "x", "a+")
+    assert not solver.check_model(f, {"x": "b"})
+    assert not solver.check_model(f, {})  # default empty string fails a+
+
+
+def test_bool_constants(solver):
+    assert solver.solve(F.TRUE).is_sat
+    assert solver.solve(F.FALSE).is_unsat
+    assert solver.solve(F.Not(F.FALSE)).is_sat
+
+
+def test_nested_boolean_structure(solver, bitset_builder):
+    b = bitset_builder
+    f = F.And((
+        F.Or((inre(b, "x", "a*"), inre(b, "x", "b*"))),
+        F.Not(F.Or((F.EqConst("x", ""), F.EqConst("x", "a")))),
+        F.LenCmp("x", "<=", 2),
+    ))
+    result = solver.solve(f)
+    assert result.is_sat
+    assert result.model["x"] not in ("", "a")
+
+
+def test_budget_propagates(bitset_builder):
+    solver = SmtSolver(bitset_builder)
+    f = F.InRe("x", parse(bitset_builder, "~(.*a.{25})&(a|b){30}"))
+    result = solver.solve(f, budget=Budget(fuel=2))
+    assert result.is_unknown
+
+
+def test_unknown_branch_does_not_mask_sat(bitset_builder):
+    """A later decidable branch still yields sat."""
+    solver = SmtSolver(bitset_builder)
+    f = F.Or((
+        F.And((inre(bitset_builder, "x", "a"),
+               F.Not(inre(bitset_builder, "x", "a")))),
+        inre(bitset_builder, "y", "b*"),
+    ))
+    assert solver.solve(f).is_sat

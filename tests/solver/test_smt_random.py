@@ -1,0 +1,95 @@
+"""Random-formula soundness: the mini-SMT layer against brute force.
+
+Random Boolean combinations of membership/length/equality atoms over a
+small alphabet; sat answers must produce checkable models, unsat
+answers must survive exhaustive search over short strings.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regex import parse
+from repro.regex.semantics import Matcher, enumerate_strings
+from repro.solver import Budget, SmtSolver
+from repro.solver import formula as F
+
+PATTERNS = ["a*", "(ab)*", "a.*", ".*b", "(a|b){1,3}", ".*0.*", "0?1?"]
+VARS = ["x", "y"]
+
+
+def atoms(builder):
+    membership = st.builds(
+        lambda var, pattern: F.InRe(var, parse(builder, pattern)),
+        st.sampled_from(VARS), st.sampled_from(PATTERNS),
+    )
+    length = st.builds(
+        lambda var, op, n: F.LenCmp(var, op, n),
+        st.sampled_from(VARS), st.sampled_from(["=", "<=", ">="]),
+        st.integers(0, 3),
+    )
+    equality = st.builds(
+        lambda var, value: F.EqConst(var, value),
+        st.sampled_from(VARS), st.sampled_from(["", "a", "ab", "b0"]),
+    )
+    return st.one_of(membership, length, equality)
+
+
+def formulas(builder):
+    return st.recursive(
+        atoms(builder),
+        lambda children: st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda cs: F.And(tuple(cs))
+            ),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda cs: F.Or(tuple(cs))
+            ),
+            children.map(F.Not),
+        ),
+        max_leaves=6,
+    )
+
+
+def brute_force_sat(solver, formula, max_len=3):
+    """Exhaustive model search over short strings."""
+    universe = list(enumerate_strings("ab01", max_len))
+    live_vars = sorted(F.variables(formula)) or ["x"]
+
+    def assign(index, model):
+        if index == len(live_vars):
+            return solver.check_model(formula, model)
+        for value in universe:
+            model[live_vars[index]] = value
+            if assign(index + 1, model):
+                return True
+        return False
+
+    return assign(0, {})
+
+
+def test_random_formulas_sound(bitset_builder):
+    solver = SmtSolver(bitset_builder)
+
+    @settings(max_examples=60, deadline=None)
+    @given(formulas(bitset_builder))
+    def check(formula):
+        result = solver.solve(formula, budget=Budget(fuel=100000))
+        if result.is_sat:
+            assert solver.check_model(formula, result.model)
+        elif result.is_unsat:
+            assert not brute_force_sat(solver, formula, max_len=2)
+
+    check()
+
+
+def test_random_formula_completeness_on_short_witnesses(bitset_builder):
+    """If a short model exists, the solver must answer sat."""
+    solver = SmtSolver(bitset_builder)
+
+    @settings(max_examples=40, deadline=None)
+    @given(formulas(bitset_builder))
+    def check(formula):
+        if brute_force_sat(solver, formula, max_len=2):
+            result = solver.solve(formula, budget=Budget(fuel=200000))
+            assert result.is_sat
+
+    check()

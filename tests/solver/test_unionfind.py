@@ -1,0 +1,62 @@
+"""Union-Find."""
+
+from hypothesis import given, strategies as st
+
+from repro.solver.unionfind import UnionFind
+
+
+def test_singletons():
+    uf = UnionFind()
+    uf.add("a")
+    uf.add("b")
+    assert uf.find("a") == "a"
+    assert not uf.same("a", "b")
+
+
+def test_union_merges():
+    uf = UnionFind()
+    for x in "abc":
+        uf.add(x)
+    uf.union("a", "b")
+    assert uf.same("a", "b")
+    assert not uf.same("a", "c")
+    uf.union("b", "c")
+    assert uf.same("a", "c")
+
+
+def test_add_idempotent():
+    uf = UnionFind()
+    uf.add(1)
+    uf.union(1, 1)
+    uf.add(1)
+    assert uf.find(1) == 1
+
+
+def test_contains():
+    uf = UnionFind()
+    uf.add("x")
+    assert "x" in uf and "y" not in uf
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=40))
+def test_matches_naive_partition(pairs):
+    uf = UnionFind()
+    naive = {}  # element -> set id
+
+    def naive_find(x):
+        if x not in naive:
+            naive[x] = {x}
+        return naive[x]
+
+    for a, b in pairs:
+        uf.add(a)
+        uf.add(b)
+        sa, sb = naive_find(a), naive_find(b)
+        if sa is not sb:
+            sa |= sb
+            for member in sb:
+                naive[member] = sa
+        uf.union(a, b)
+    for a in list(naive):
+        for b in list(naive):
+            assert uf.same(a, b) == (naive[a] is naive[b])

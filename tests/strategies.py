@@ -1,0 +1,92 @@
+"""Hypothesis strategies for regexes and predicates.
+
+``regexes(builder)`` draws arbitrary EREs (including ``&``/``~`` and
+bounded loops) over the test alphabet; ``standard_regexes`` restricts
+to RE; ``b_re_regexes`` draws Boolean combinations of standard regexes
+(the Theorem 7.3 class).
+"""
+
+from hypothesis import strategies as st
+
+from tests.conftest import ALPHABET
+
+
+def predicates(algebra):
+    """Non-bottom predicates of a BitsetAlgebra."""
+    return st.sets(
+        st.sampled_from(list(ALPHABET)), min_size=1, max_size=len(ALPHABET)
+    ).map(algebra.from_chars)
+
+
+def _leaves(builder):
+    return st.one_of(
+        st.just(builder.epsilon),
+        predicates(builder.algebra).map(builder.pred),
+        st.sampled_from(list(ALPHABET)).map(builder.char),
+    )
+
+
+def standard_regexes(builder, max_leaves=8, bounded_loops=True):
+    """Standard regexes (RE): no intersection, no complement.
+
+    ``bounded_loops=False`` restricts to the paper's star-only RE
+    grammar (bounded loops are sugar that expands the predicate count,
+    which matters for the Theorem 7.3 bound).
+    """
+
+    def extend(children):
+        options = [
+            st.lists(children, min_size=2, max_size=3).map(builder.concat),
+            st.lists(children, min_size=2, max_size=3).map(builder.union),
+            children.map(builder.star),
+        ]
+        if bounded_loops:
+            options += [
+                children.map(builder.plus),
+                children.map(builder.opt),
+                st.tuples(children, st.integers(0, 3), st.integers(0, 2)).map(
+                    lambda t: builder.loop(t[0], t[1], t[1] + t[2])
+                ),
+            ]
+        return st.one_of(*options)
+
+    return st.recursive(_leaves(builder), extend, max_leaves=max_leaves)
+
+
+def b_re_regexes(builder, max_leaves=6, bounded_loops=True):
+    """Boolean combinations of standard regexes: the B(RE) class."""
+    base = standard_regexes(
+        builder, max_leaves=max_leaves, bounded_loops=bounded_loops
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(builder.union),
+            st.lists(children, min_size=2, max_size=3).map(builder.inter),
+            children.map(builder.compl),
+        )
+
+    return st.recursive(base, extend, max_leaves=4)
+
+
+def extended_regexes(builder, max_leaves=6):
+    """Arbitrary EREs: Boolean operators may nest under concat/loops."""
+
+    def extend(children):
+        return st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(builder.concat),
+            st.lists(children, min_size=2, max_size=3).map(builder.union),
+            st.lists(children, min_size=2, max_size=2).map(builder.inter),
+            children.map(builder.compl),
+            children.map(builder.star),
+            st.tuples(children, st.integers(0, 2), st.integers(0, 2)).map(
+                lambda t: builder.loop(t[0], t[1], t[1] + t[2])
+            ),
+        )
+
+    return st.recursive(_leaves(builder), extend, max_leaves=max_leaves)
+
+
+def short_strings(max_length=5):
+    """Strings over the test alphabet."""
+    return st.text(alphabet=ALPHABET, max_size=max_length)

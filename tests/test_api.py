@@ -1,0 +1,55 @@
+"""Public API surface: the README quickstart must keep working."""
+
+import repro
+from repro import (
+    Budget, IntervalAlgebra, RegexBuilder, RegexSolver, SmtSolver, parse,
+    matches, to_pattern,
+)
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_quickstart_snippet():
+    algebra = IntervalAlgebra()
+    builder = RegexBuilder(algebra)
+    solver = RegexSolver(builder)
+
+    r = parse(builder, r"(.*\d.*)&~(.*01.*)")
+    result = solver.is_satisfiable(r)
+    assert result.is_sat
+    assert matches(algebra, r, result.witness)
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_smt_level_quickstart():
+    builder = RegexBuilder(IntervalAlgebra())
+    solver = SmtSolver(builder)
+    f = repro.formula.And((
+        repro.formula.InRe("s", parse(builder, r"\d{4}-[a-zA-Z]{3}-\d{2}")),
+        repro.formula.InRe("s", parse(builder, "2020.*")),
+    ))
+    result = solver.solve(f, budget=Budget(fuel=100000))
+    assert result.is_sat
+    assert result.model["s"].startswith("2020-")
+
+
+def test_pattern_printing_is_exposed():
+    builder = RegexBuilder(IntervalAlgebra())
+    r = parse(builder, "a{2,3}")
+    assert to_pattern(r, builder.algebra) == "a{2,3}"
+
+
+def test_smtlib_is_exposed():
+    builder = RegexBuilder(IntervalAlgebra())
+    result = repro.run_script(
+        builder,
+        '(set-logic QF_S)(declare-const x String)'
+        '(assert (str.in_re x (re.+ (str.to_re "ok"))))(check-sat)',
+    )
+    assert result.is_sat and result.model["x"] == "ok"

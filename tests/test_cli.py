@@ -1,0 +1,74 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run(capsys, *argv):
+    status = main(list(argv))
+    return status, capsys.readouterr().out
+
+
+def test_check_sat(capsys):
+    status, out = run(capsys, "--ascii", "check", r"(.*\d.*)&~(.*01.*)")
+    assert status == 0
+    assert "sat" in out and "witness" in out
+
+
+def test_check_unsat(capsys):
+    status, out = run(capsys, "--ascii", "check", r"a&b")
+    assert status == 0
+    assert out.startswith("unsat")
+
+
+def test_check_unknown_exit_code(capsys):
+    status, out = run(
+        capsys, "--ascii", "--fuel", "2", "check",
+        "~(.*a.{30})&~(.*b.{30})&(a|b){40}",
+    )
+    assert status == 2
+    assert "unknown" in out
+
+
+def test_contains(capsys):
+    status, out = run(capsys, "--ascii", "contains", "a{3}", "a{2,5}")
+    assert status == 0 and "holds" in out
+    status, out = run(capsys, "--ascii", "contains", "a{2,5}", "a{3}")
+    assert "counterexample" in out
+
+
+def test_equiv(capsys):
+    _, out = run(capsys, "--ascii", "equiv", "(a|b)*", "(a*b*)*")
+    assert "equivalent" in out
+    _, out = run(capsys, "--ascii", "equiv", "a*b*", "(a|b)*")
+    assert "distinguishing" in out
+
+
+def test_match(capsys):
+    _, out = run(capsys, "--ascii", "match", "b+", "abba")
+    assert "fullmatch: False" in out
+    assert "span=(1, 3)" in out or "span=(1, 2)" in out
+
+
+def test_solve_smt2(capsys, tmp_path):
+    path = tmp_path / "q.smt2"
+    path.write_text(
+        '(set-logic QF_S)(declare-const x String)'
+        '(assert (str.in_re x (re.+ (str.to_re "ab"))))(check-sat)'
+    )
+    status, out = run(capsys, "solve", str(path))
+    assert status == 0
+    assert "sat" in out and "'ab'" in out
+
+
+def test_graph_text_and_dot(capsys):
+    _, out = run(capsys, "--ascii", "graph", ".*01.*")
+    assert "--[" in out
+    _, out = run(capsys, "--ascii", "graph", "--dot", ".*01.*")
+    assert out.startswith("digraph")
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

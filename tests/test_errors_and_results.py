@@ -1,0 +1,78 @@
+"""Exception hierarchy and the Budget / SolverResult plumbing."""
+
+import time
+
+import pytest
+
+from repro import errors
+from repro.solver.result import Budget, SAT, SolverResult, UNKNOWN, UNSAT
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for cls in (errors.AlgebraError, errors.RegexSyntaxError,
+                    errors.SmtLibError, errors.UnsupportedError,
+                    errors.BudgetExceeded):
+            assert issubclass(cls, errors.ReproError)
+        assert issubclass(errors.ReproError, Exception)
+
+    def test_syntax_error_position_formatting(self):
+        err = errors.RegexSyntaxError("boom", text="abcdef", position=3)
+        assert "position 3" in str(err)
+        assert err.text == "abcdef"
+
+    def test_syntax_error_without_position(self):
+        err = errors.RegexSyntaxError("boom")
+        assert str(err) == "boom"
+
+    def test_budget_exceeded_payload(self):
+        err = errors.BudgetExceeded("out", fuel_used=7, elapsed=1.5)
+        assert err.fuel_used == 7 and err.elapsed == 1.5
+
+
+class TestBudget:
+    def test_unlimited_never_raises(self):
+        budget = Budget()
+        for _ in range(1000):
+            budget.tick()
+        assert budget.fuel_used == 1000
+        assert budget.remaining() is None
+
+    def test_fuel_exhaustion(self):
+        budget = Budget(fuel=3)
+        budget.tick(3)
+        with pytest.raises(errors.BudgetExceeded):
+            budget.tick()
+
+    def test_remaining(self):
+        budget = Budget(fuel=10)
+        budget.tick(4)
+        assert budget.remaining() == 6
+
+    def test_wall_clock(self):
+        budget = Budget(seconds=0.0)
+        with pytest.raises(errors.BudgetExceeded):
+            # the clock check fires on multiples of 64 ticks
+            budget.tick(64)
+
+    def test_elapsed_moves(self):
+        budget = Budget()
+        time.sleep(0.01)
+        assert budget.elapsed > 0
+
+
+class TestSolverResult:
+    def test_flags(self):
+        assert SolverResult(SAT).is_sat
+        assert SolverResult(UNSAT).is_unsat
+        assert SolverResult(UNKNOWN).is_unknown
+        assert not SolverResult(SAT).is_unsat
+
+    def test_repr_mentions_witness_and_reason(self):
+        r = SolverResult(SAT, witness="ab")
+        assert "'ab'" in repr(r)
+        u = SolverResult(UNKNOWN, reason="fuel")
+        assert "fuel" in repr(u)
+
+    def test_stats_default_dict(self):
+        assert SolverResult(SAT).stats == {}

@@ -1,0 +1,74 @@
+"""Unicode/BMP-specific behaviour: the paper's point (1) — regexes in
+practice live over a symbolic Unicode alphabet, and solvers must not
+enumerate it."""
+
+from repro.alphabet import IntervalAlgebra, charclass
+from repro.regex import RegexBuilder, parse, matches
+from repro.solver import Budget, RegexSolver
+
+
+def test_bmp_domain_size():
+    algebra = IntervalAlgebra()
+    assert algebra.count(algebra.top) == 0x10000
+
+
+def test_digit_class_matches_nonascii_digits(bmp_builder):
+    r = parse(bmp_builder, r"\d+")
+    # Arabic-Indic, Devanagari, Thai, fullwidth digits
+    for s in ("٠١٢", "०१२", "๑๒๓", "１２３", "123"):
+        assert matches(bmp_builder.algebra, r, s), s
+    assert not matches(bmp_builder.algebra, r, "abc")
+
+
+def test_word_class_covers_scripts(bmp_builder):
+    r = parse(bmp_builder, r"\w+")
+    for s in ("hello", "привет", "γειά", "שלום", "你好"):
+        assert matches(bmp_builder.algebra, r, s), s
+
+
+def test_solving_never_enumerates_the_alphabet(bmp_builder):
+    """A constraint over the full BMP solves in a handful of steps —
+    the whole point of symbolic derivatives (contrast: naive
+    per-character derivation would need 65536 branches per step)."""
+    solver = RegexSolver(bmp_builder)
+    r = parse(bmp_builder, r"(.*\d.*)&(.*\w.*)&~(.*\s.*)")
+    result = solver.is_satisfiable(r, Budget(fuel=500))
+    assert result.is_sat
+    assert result.stats["fuel_used"] < 100
+    assert result.stats["sat_checks"] < 2000
+
+
+def test_negated_unicode_class_is_huge_but_cheap(bmp_builder):
+    algebra = bmp_builder.algebra
+    non_word = charclass.not_word(algebra)
+    # tens of thousands of codepoints, one predicate object
+    assert algebra.count(non_word) > 40000
+    r = bmp_builder.plus(bmp_builder.pred(non_word))
+    solver = RegexSolver(bmp_builder)
+    result = solver.is_satisfiable(r)
+    assert result.is_sat
+    assert not algebra.member(result.witness[0], charclass.word(algebra))
+
+
+def test_witnesses_prefer_printable(bmp_builder):
+    solver = RegexSolver(bmp_builder)
+    r = parse(bmp_builder, r"\w{5}")
+    result = solver.is_satisfiable(r)
+    assert result.witness.isprintable()
+
+
+def test_supplementary_plane_domain():
+    algebra = IntervalAlgebra(0x10FFFF)
+    builder = RegexBuilder(algebra)
+    emoji = builder.pred(algebra.from_ranges([(0x1F600, 0x1F64F)]))
+    r = builder.plus(emoji)
+    assert matches(algebra, r, "😀😁")
+    solver = RegexSolver(builder)
+    result = solver.is_satisfiable(builder.inter([r, builder.any_length(2, 2)]))
+    assert result.is_sat and len(result.witness) == 2
+
+
+def test_unicode_escape_in_patterns(bmp_builder):
+    r = parse(bmp_builder, r"☃+")  # snowman
+    assert matches(bmp_builder.algebra, r, "☃☃")
+    assert not matches(bmp_builder.algebra, r, "x")

@@ -1,0 +1,48 @@
+"""Derivative-graph and SBFA rendering."""
+
+from repro.regex import parse
+from repro.sbfa.sbfa import from_regex
+from repro.visualize import (
+    derivative_graph, graph_to_dot, graph_to_text, sbfa_to_text,
+)
+
+
+def test_derivative_graph_structure(ascii_builder):
+    b = ascii_builder
+    root = parse(b, ".*01.*")
+    states, edges = derivative_graph(b, root)
+    assert root in states
+    assert parse(b, "1.*|.*01.*") in states or any(
+        s.nullable for s in states
+    )
+    sources = {s for s, _, _ in edges}
+    assert root in sources
+
+
+def test_graph_text_marks_finals(ascii_builder):
+    b = ascii_builder
+    text = graph_to_text(b, parse(b, "ab"))
+    assert "((" in text       # a final state is double-marked
+    assert "--[" in text      # at least one labelled edge
+
+
+def test_graph_dot_shape(ascii_builder):
+    b = ascii_builder
+    dot = graph_to_dot(b, parse(b, "(.*0.*)&~(.*01.*)"))
+    assert dot.startswith("digraph")
+    assert "doublecircle" in dot
+    assert dot.rstrip().endswith("}")
+
+
+def test_graph_respects_state_cap(ascii_builder):
+    b = ascii_builder
+    states, _ = derivative_graph(b, parse(b, "~(.*a.{10})"), max_states=5)
+    assert len(states) <= 5
+
+
+def test_sbfa_text(bitset_builder):
+    b = bitset_builder
+    sbfa = from_regex(b, parse(b, "(.*0.*)&~(.*01.*)"))
+    text = sbfa_to_text(sbfa)
+    assert "((F))" in text
+    assert "delta =" in text
