@@ -27,8 +27,10 @@ from repro.alphabet import (
 from repro.regex import RegexBuilder, parse, to_pattern
 from repro.regex.semantics import Matcher, matches
 from repro.derivatives import DerivativeEngine, delta_dnf, derivative
+from repro.obs import Observability
 from repro.solver import (
-    Budget, PropagationEngine, RegexSolver, SmtSolver, SolverResult, formula,
+    Budget, PropagationEngine, RegexSolver, SmtSolver, SolverResult,
+    SolverStats, formula,
 )
 from repro.sbfa import SBFA, from_regex as sbfa_from_regex
 from repro.smtlib import parse_script, run_script, script_text
@@ -46,7 +48,7 @@ __all__ = [
     "RegexBuilder", "parse", "to_pattern", "Matcher", "matches",
     "derivative", "delta_dnf", "DerivativeEngine",
     "RegexSolver", "SmtSolver", "PropagationEngine", "Budget",
-    "SolverResult", "formula",
+    "SolverResult", "SolverStats", "Observability", "formula",
     "SBFA", "sbfa_from_regex",
     "parse_script", "run_script", "script_text",
     "RegexMatcher", "Match", "compile_pattern",

@@ -13,17 +13,23 @@ Commands:
   Graphviz output).
 
 All commands take ``--ascii`` (7-bit domain), ``--fuel N`` and
-``--seconds S`` budget flags.
+``--seconds S`` budget flags, plus the telemetry flags ``--stats``
+(print the solver's per-query counters and metrics snapshot) and
+``--trace FILE`` (record nested spans; ``.jsonl`` writes JSONL,
+anything else the Chrome ``trace_event`` format that loads in
+``chrome://tracing`` / Perfetto).
 """
 
 import argparse
+import json
 import sys
 
 from repro.alphabet import IntervalAlgebra
 from repro.matcher import RegexMatcher
+from repro.obs import Observability, Tracer
 from repro.regex import RegexBuilder, parse, to_pattern
 from repro.smtlib.interp import run_file
-from repro.solver import Budget, RegexSolver
+from repro.solver import Budget, RegexSolver, SmtSolver
 from repro.visualize import graph_to_dot, graph_to_text
 
 
@@ -39,6 +45,11 @@ def build_parser():
                         help="solver step budget (default 1000000)")
     parser.add_argument("--seconds", type=float, default=60.0,
                         help="wall clock budget (default 60)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-query stats and the metrics snapshot")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="record spans to FILE (.jsonl for JSONL, "
+                             "anything else for Chrome trace_event)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     check = sub.add_parser("check", help="satisfiability of a pattern")
@@ -66,22 +77,44 @@ def build_parser():
     return parser
 
 
+def _stats_lines(result, obs):
+    """Render ``--stats`` output: per-query counters, then the metrics
+    snapshot (sorted, non-zero entries only)."""
+    lines = []
+    stats = getattr(result, "stats", None) if result is not None else None
+    if stats:
+        stats = stats.to_dict() if hasattr(stats, "to_dict") else dict(stats)
+        stats.pop("lifetime", None)
+        lines.append("stats: " + " ".join(
+            "%s=%s" % (key, stats[key]) for key in sorted(stats)
+            if not isinstance(stats[key], dict)
+        ))
+    if obs is not None and obs.metrics.enabled:
+        for name, value in sorted(obs.metrics.snapshot().items()):
+            if value:
+                lines.append("  %s = %s" % (name, value))
+    return lines
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     algebra = IntervalAlgebra(127) if args.ascii else IntervalAlgebra()
     builder = RegexBuilder(algebra)
     budget = lambda: Budget(fuel=args.fuel, seconds=args.seconds)
+    tracer = Tracer() if args.trace else None
+    obs = Observability(tracer=tracer) if tracer else Observability()
     out = []
+    result = None
 
     if args.command == "check":
-        solver = RegexSolver(builder)
+        solver = RegexSolver(builder, obs=obs)
         result = solver.is_satisfiable(parse(builder, args.pattern), budget())
         out.append(result.status)
         if result.is_sat:
             out.append("witness: %r" % result.witness)
         status = 0 if not result.is_unknown else 2
     elif args.command == "contains":
-        solver = RegexSolver(builder)
+        solver = RegexSolver(builder, obs=obs)
         result = solver.contains(
             parse(builder, args.sub), parse(builder, args.sup), budget()
         )
@@ -93,7 +126,7 @@ def main(argv=None):
             out.append("unknown (%s)" % result.reason)
         status = 0 if not result.is_unknown else 2
     elif args.command == "equiv":
-        solver = RegexSolver(builder)
+        solver = RegexSolver(builder, obs=obs)
         result = solver.equivalent(
             parse(builder, args.left), parse(builder, args.right), budget()
         )
@@ -116,8 +149,9 @@ def main(argv=None):
         status = 0
     elif args.command == "solve":
         status = 0
+        smt = SmtSolver(builder, RegexSolver(builder, obs=obs))
         for path in args.files:
-            result = run_file(builder, path, budget=budget())
+            result = run_file(builder, path, solver=smt, budget=budget())
             line = "%s: %s" % (path, result.status)
             if result.model:
                 line += "  " + " ".join(
@@ -133,6 +167,18 @@ def main(argv=None):
         status = 0
     else:  # pragma: no cover - argparse enforces the choices
         status = 1
+
+    if args.stats:
+        out.extend(_stats_lines(result, obs))
+    if tracer is not None:
+        try:
+            count = tracer.export(args.trace)
+        except OSError as exc:
+            print("trace: cannot write %s: %s" % (args.trace, exc),
+                  file=sys.stderr)
+            status = status or 1
+        else:
+            out.append("trace: wrote %d events to %s" % (count, args.trace))
 
     print("\n".join(out))
     return status

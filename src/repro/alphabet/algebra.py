@@ -25,6 +25,7 @@ Concrete implementations:
 from abc import ABC, abstractmethod
 
 from repro.errors import AlgebraError
+from repro.obs.tracing import NULL_TRACER
 
 
 class BooleanAlgebra(ABC):
@@ -34,6 +35,55 @@ class BooleanAlgebra(ABC):
     opaque values as far as clients are concerned; only the operations
     below may be used to combine or inspect them.
     """
+
+    # -- telemetry hooks ----------------------------------------------------
+    #
+    # Counting stays on always: concrete algebras bump the plain ints
+    # ``_op_count`` in conj/disj/neg and ``_sat_count`` in
+    # is_sat/is_valid — a bare ``+=`` is cheaper than any instrument
+    # call at predicate-operation frequencies.  ``bind_metrics``
+    # remembers a registry so ``sync_metrics`` can publish the totals;
+    # a *live* tracer additionally shadows ``is_sat`` with a
+    # span-emitting wrapper, so untraced runs pay nothing for it.
+
+    _op_count = 0
+    _sat_count = 0
+    _metrics = None
+    _tracer = NULL_TRACER
+
+    def bind_metrics(self, registry, tracer=None):
+        """Attach this algebra to a :class:`~repro.obs.metrics.
+        MetricsRegistry` (``algebra`` scope) and optionally a tracer."""
+        self._metrics = registry
+        if tracer is not None and tracer.enabled:
+            self._tracer = tracer
+            inner = type(self).is_sat
+
+            def traced_is_sat(phi, _inner=inner, _self=self, _span=tracer.span):
+                with _span("algebra.sat_check"):
+                    return _inner(_self, phi)
+
+            self.is_sat = traced_is_sat
+        return self
+
+    def sync_metrics(self):
+        """Publish the operation/sat-check totals into the bound
+        registry (no-op when unbound or metrics are disabled)."""
+        if self._metrics is None or not self._metrics.enabled:
+            return
+        scope = self._metrics.scope("algebra")
+        scope.counter("ops").value = self._op_count
+        scope.counter("sat_checks").value = self._sat_count
+
+    @property
+    def op_count(self):
+        """Boolean connective applications on this algebra."""
+        return self._op_count
+
+    @property
+    def sat_check_count(self):
+        """``is_sat``/``is_valid`` decisions on this algebra."""
+        return self._sat_count
 
     # -- The two distinguished predicates ---------------------------------
 

@@ -131,12 +131,18 @@ class BDDAlgebra(BooleanAlgebra):
         return result
 
     def conj(self, phi, psi):
+        self._op_count += 1
         return self._apply("and", phi, psi)
 
     def disj(self, phi, psi):
+        self._op_count += 1
         return self._apply("or", phi, psi)
 
     def neg(self, phi):
+        self._op_count += 1
+        return self._neg(phi)
+
+    def _neg(self, phi):
         if phi is self._true:
             return self._false
         if phi is self._false:
@@ -144,7 +150,7 @@ class BDDAlgebra(BooleanAlgebra):
         cached = self._neg_cache.get(id(phi))
         if cached is not None:
             return cached
-        result = self._mk(phi.var, self.neg(phi.lo), self.neg(phi.hi))
+        result = self._mk(phi.var, self._neg(phi.lo), self._neg(phi.hi))
         self._neg_cache[id(phi)] = result
         self._neg_cache[id(result)] = phi
         return result
@@ -152,9 +158,11 @@ class BDDAlgebra(BooleanAlgebra):
     # -- decision problems -----------------------------------------------------
 
     def is_sat(self, phi):
+        self._sat_count += 1
         return phi is not self._false
 
     def is_valid(self, phi):
+        self._sat_count += 1
         return phi is self._true
 
     def member(self, char, phi):

@@ -62,18 +62,23 @@ class BitsetAlgebra(BooleanAlgebra):
         return self._top
 
     def conj(self, phi, psi):
+        self._op_count += 1
         return BitsetPred(self._check(phi).mask & self._check(psi).mask, self._id)
 
     def disj(self, phi, psi):
+        self._op_count += 1
         return BitsetPred(self._check(phi).mask | self._check(psi).mask, self._id)
 
     def neg(self, phi):
+        self._op_count += 1
         return BitsetPred(self._top.mask & ~self._check(phi).mask, self._id)
 
     def is_sat(self, phi):
+        self._sat_count += 1
         return self._check(phi).mask != 0
 
     def is_valid(self, phi):
+        self._sat_count += 1
         return self._check(phi).mask == self._top.mask
 
     def member(self, char, phi):

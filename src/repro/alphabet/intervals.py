@@ -160,6 +160,7 @@ class IntervalAlgebra(BooleanAlgebra):
         return self._top
 
     def conj(self, phi, psi):
+        self._op_count += 1
         if phi is self._top:
             return psi
         if psi is self._top:
@@ -167,6 +168,7 @@ class IntervalAlgebra(BooleanAlgebra):
         return _intersection(phi, psi)
 
     def disj(self, phi, psi):
+        self._op_count += 1
         if phi is self._bot:
             return psi
         if psi is self._bot:
@@ -174,12 +176,15 @@ class IntervalAlgebra(BooleanAlgebra):
         return _union(phi, psi)
 
     def neg(self, phi):
+        self._op_count += 1
         return _complement(phi, self.max_code)
 
     def is_sat(self, phi):
+        self._sat_count += 1
         return bool(phi.ranges)
 
     def is_valid(self, phi):
+        self._sat_count += 1
         return phi == self._top
 
     def member(self, char, phi):

@@ -47,21 +47,39 @@ class Engine:
 
 
 class Record:
-    """Outcome of one (engine, problem) run."""
+    """Outcome of one (engine, problem) run.
 
-    __slots__ = ("problem", "engine", "status", "seconds", "outcome")
+    ``stats`` holds the per-record counters captured from the solver:
+    the result's stats (typed snapshots flattened via ``to_dict``) plus
+    the engine's metrics-registry snapshot under ``"metrics"``, so the
+    exported benchmark JSON carries explored-state, sat-check and memo
+    counters for every run.
+    """
 
-    def __init__(self, problem, engine, status, seconds, outcome):
+    __slots__ = ("problem", "engine", "status", "seconds", "outcome", "stats")
+
+    def __init__(self, problem, engine, status, seconds, outcome, stats=None):
         self.problem = problem
         self.engine = engine
         self.status = status
         self.seconds = seconds
         # outcome: "correct", "wrong", "timeout", "unchecked"
         self.outcome = outcome
+        self.stats = stats if stats is not None else {}
 
     @property
     def solved(self):
         return self.outcome in ("correct", "unchecked")
+
+
+def _capture_stats(result, solver):
+    """Per-record counters: result stats + the engine's metrics tree."""
+    stats = result.stats
+    stats = stats.to_dict() if hasattr(stats, "to_dict") else dict(stats)
+    obs = getattr(getattr(solver, "engine", None), "obs", None)
+    if obs is not None and obs.metrics.enabled:
+        stats["metrics"] = obs.metrics.snapshot()
+    return stats
 
 
 def run_problem(engine, builder, problem, fuel=200000, seconds=2.0):
@@ -75,8 +93,9 @@ def run_problem(engine, builder, problem, fuel=200000, seconds=2.0):
         return Record(problem, engine.name, "error", seconds, "timeout")
     elapsed = time.perf_counter() - started
     status = result.status
+    stats = _capture_stats(result, solver)
     if status == "unknown":
-        return Record(problem, engine.name, status, seconds, "timeout")
+        return Record(problem, engine.name, status, seconds, "timeout", stats)
     if problem.expected is None:
         outcome = "unchecked"
     elif status == problem.expected:
@@ -88,8 +107,10 @@ def run_problem(engine, builder, problem, fuel=200000, seconds=2.0):
             outcome = "wrong"
     if outcome == "wrong":
         # wrong answers are treated as timeouts in the comparison
-        return Record(problem, engine.name, status, seconds, "wrong")
-    return Record(problem, engine.name, status, min(elapsed, seconds), outcome)
+        return Record(problem, engine.name, status, seconds, "wrong", stats)
+    return Record(
+        problem, engine.name, status, min(elapsed, seconds), outcome, stats
+    )
 
 
 def run_matrix(engines, problems, builder, fuel=200000, seconds=2.0,

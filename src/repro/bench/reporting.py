@@ -4,7 +4,11 @@
 median per engine per group); ``figure_4b_series`` the cumulative
 time-to-solve series; ``figure_4c_table`` the benchmark inventory.
 All output is plain text so the benchmark logs double as the artifact.
+``records_json``/``write_json`` additionally export every record —
+including its per-record solver counters — as machine-readable JSON.
 """
+
+import json
 
 from repro.bench.harness import cumulative, summarize
 
@@ -97,6 +101,45 @@ def figure_4c_table(inventory):
     lines.append("-" * 44)
     lines.append("%-26s %8d %8d" % ("total", paper_total, ours_total))
     return "\n".join(lines)
+
+
+def records_json(records, budget_seconds=None):
+    """Every record as a JSON-serializable dict, counters included.
+
+    When ``budget_seconds`` is given, the per-(engine, group) summary
+    is attached under ``"summary"`` with string keys.
+    """
+    out = {
+        "records": [
+            {
+                "suite": r.problem.suite,
+                "name": r.problem.name,
+                "group": r.problem.group,
+                "engine": r.engine,
+                "status": r.status,
+                "seconds": r.seconds,
+                "outcome": r.outcome,
+                "solved": r.solved,
+                "stats": r.stats,
+            }
+            for r in records
+        ],
+    }
+    if budget_seconds is not None:
+        out["budget_seconds"] = budget_seconds
+        out["summary"] = {
+            "%s/%s" % key: cell
+            for key, cell in summarize(records, budget_seconds).items()
+        }
+    return out
+
+
+def write_json(records, path, budget_seconds=None):
+    """Write :func:`records_json` to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(records_json(records, budget_seconds), handle, indent=1,
+                  sort_keys=True)
+    return path
 
 
 def speedup_vs(records, budget_seconds, ours="sbd"):

@@ -19,6 +19,7 @@ check this engine pointwise against the literal pipeline and against
 classical Brzozowski derivatives.
 """
 
+from repro.obs import Observability
 from repro.regex.ast import (
     COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
 )
@@ -66,16 +67,41 @@ _INTER = "inter"
 class DerivativeEngine:
     """Clean conditional-tree derivative computation for one builder."""
 
-    def __init__(self, builder):
+    def __init__(self, builder, obs=None):
         self.builder = builder
         self.algebra = builder.algebra
+        self.obs = obs if obs is not None else Observability()
         self._trees = {}       # structural key -> interned tree
         self._leaves = {}      # frozenset key -> interned Leaf
         self._next_uid = 0
         self._deriv_memo = {}  # regex uid -> tree
         self._meld_memo = {}   # (op, uid, uid, path) -> tree
-        #: number of algebra sat-checks performed (benchmark metric)
+        # hot-path counters are plain ints (a bare ``+=`` beats even a
+        # no-op method call at derivative/meld frequencies); they're
+        # pushed into the registry by sync_metrics() at query boundaries
         self.sat_checks = 0
+        self.deriv_memo_hits = 0
+        self.deriv_memo_misses = 0
+        self.meld_memo_hits = 0
+        self.meld_memo_misses = 0
+        #: bound ``tracer.span`` when tracing is live, else None — hot
+        #: paths test this one attribute instead of entering null spans
+        self._span = (
+            self.obs.tracer.span if self.obs.tracer.enabled else None
+        )
+
+    def sync_metrics(self):
+        """Publish the plain-int counters into the ``deriv`` scope of
+        the metrics registry (no-op when metrics are disabled)."""
+        metrics = self.obs.metrics
+        if not metrics.enabled:
+            return
+        scope = metrics.scope("deriv")
+        scope.counter("sat_checks").value = self.sat_checks
+        scope.counter("deriv_memo_hits").value = self.deriv_memo_hits
+        scope.counter("deriv_memo_misses").value = self.deriv_memo_misses
+        scope.counter("meld_memo_hits").value = self.meld_memo_hits
+        scope.counter("meld_memo_misses").value = self.meld_memo_misses
 
     # -- interning ---------------------------------------------------------
 
@@ -142,15 +168,23 @@ class DerivativeEngine:
         ``path`` is the conjunction of predicates assumed so far; the
         result is clean relative to ``path``.
         """
-        algebra = self.algebra
         if path is None:
-            path = algebra.top
+            if self._span is not None:
+                with self._span("deriv.meld"):
+                    return self._meld(op, a, b, self.algebra.top)
+            return self._meld(op, a, b, self.algebra.top)
+        return self._meld(op, a, b, path)
+
+    def _meld(self, op, a, b, path):
+        algebra = self.algebra
         if a.is_leaf and b.is_leaf:
             return self._leaf_combine(op, a, b)
         key = (op, a.uid, b.uid, path)
         cached = self._meld_memo.get(key)
         if cached is not None:
+            self.meld_memo_hits += 1
             return cached
+        self.meld_memo_misses += 1
         # split on whichever side has a decision node (prefer a)
         pivot, rest, swapped = (a, b, False) if not a.is_leaf else (b, a, True)
         then_path = algebra.conj(path, pivot.pred)
@@ -158,24 +192,24 @@ class DerivativeEngine:
         self.sat_checks += 2
         if not algebra.is_sat(then_path):
             left, right = (pivot.other, rest) if not swapped else (rest, pivot.other)
-            result = self.meld(op, left, right, path)
+            result = self._meld(op, left, right, path)
         elif not algebra.is_sat(else_path):
             left, right = (pivot.then, rest) if not swapped else (rest, pivot.then)
-            result = self.meld(op, left, right, path)
+            result = self._meld(op, left, right, path)
         else:
             rest_then = self._restrict(rest, then_path)
             rest_else = self._restrict(rest, else_path)
             if swapped:
                 result = self.node(
                     pivot.pred,
-                    self.meld(op, rest_then, pivot.then, then_path),
-                    self.meld(op, rest_else, pivot.other, else_path),
+                    self._meld(op, rest_then, pivot.then, then_path),
+                    self._meld(op, rest_else, pivot.other, else_path),
                 )
             else:
                 result = self.node(
                     pivot.pred,
-                    self.meld(op, pivot.then, rest_then, then_path),
-                    self.meld(op, pivot.other, rest_else, else_path),
+                    self._meld(op, pivot.then, rest_then, then_path),
+                    self._meld(op, pivot.other, rest_else, else_path),
                 )
         self._meld_memo[key] = result
         return result
@@ -221,8 +255,14 @@ class DerivativeEngine:
         """The clean conditional tree for ``delta_dnf(regex)``."""
         cached = self._deriv_memo.get(regex.uid)
         if cached is not None:
+            self.deriv_memo_hits += 1
             return cached
-        result = self._derive(regex)
+        self.deriv_memo_misses += 1
+        if self._span is not None:
+            with self._span("deriv.tree", uid=regex.uid):
+                result = self._derive(regex)
+        else:
+            result = self._derive(regex)
         self._deriv_memo[regex.uid] = result
         return result
 

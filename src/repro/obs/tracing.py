@@ -1,0 +1,209 @@
+"""Nested span tracing with JSONL and Chrome ``trace_event`` export.
+
+A :class:`Tracer` records *spans* — named, timed, nested intervals such
+as ``solver.explore`` or ``deriv.tree`` — via a context manager::
+
+    with tracer.span("solver.explore"):
+        ...
+
+Finished spans accumulate on ``tracer.events`` and can be exported as
+
+* JSONL (one JSON object per line: ``name``, ``ts``, ``dur``, ``depth``,
+  ``args``), the machine-friendly format the tests round-trip, or
+* the Chrome ``trace_event`` JSON object format, which loads directly
+  in ``chrome://tracing`` and https://ui.perfetto.dev.
+
+The :class:`NullTracer` (:data:`NULL_TRACER`) makes every ``span()``
+call return a shared no-op context manager, so traced hot paths cost
+one attribute lookup plus an empty call when tracing is off.
+"""
+
+import json
+import time
+
+
+class Span:
+    """An open span; records itself on the tracer when exited."""
+
+    __slots__ = ("tracer", "name", "args", "start", "depth")
+
+    def __init__(self, tracer, name, args):
+        self.tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self):
+        tracer = self.tracer
+        self.depth = tracer._depth
+        tracer._depth += 1
+        self.start = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        tracer = self.tracer
+        end = tracer._clock()
+        tracer._depth -= 1
+        tracer.events.append({
+            "name": self.name,
+            "ts": self.start - tracer._t0,
+            "dur": end - self.start,
+            "depth": self.depth,
+            "args": self.args,
+        })
+        return False
+
+
+class Tracer:
+    """Collects nested spans from a single-threaded solver run."""
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._t0 = clock()
+        self._depth = 0
+        #: finished spans, in completion order
+        self.events = []
+
+    def span(self, name, **args):
+        return Span(self, name, args)
+
+    def instant(self, name, **args):
+        """A zero-duration marker event."""
+        self.events.append({
+            "name": name,
+            "ts": self._clock() - self._t0,
+            "dur": 0.0,
+            "depth": self._depth,
+            "args": args,
+            "instant": True,
+        })
+
+    def clear(self):
+        self.events = []
+
+    # -- export ------------------------------------------------------------
+
+    def export_jsonl(self, path):
+        """One JSON object per line; see :func:`read_jsonl`."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write("\n")
+        return len(self.events)
+
+    def export_chrome(self, path):
+        """Chrome ``trace_event`` JSON object format (Perfetto-loadable)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(chrome_trace(self.events), handle)
+        return len(self.events)
+
+    def export(self, path):
+        """Export choosing the format by extension: ``.jsonl`` writes
+        JSONL, anything else the Chrome format."""
+        if str(path).endswith(".jsonl"):
+            return self.export_jsonl(path)
+        return self.export_chrome(path)
+
+
+def chrome_trace(events):
+    """Events rendered as a Chrome ``trace_event`` object.
+
+    Spans become complete (``"ph": "X"``) events with microsecond
+    timestamps; instants become ``"ph": "i"``.  Everything lives on one
+    pid/tid, matching the solver's single-threaded execution.
+    """
+    trace_events = []
+    for event in events:
+        out = {
+            "name": event["name"],
+            "cat": "repro",
+            "ts": event["ts"] * 1e6,
+            "pid": 0,
+            "tid": 0,
+            "args": event.get("args") or {},
+        }
+        if event.get("instant"):
+            out["ph"] = "i"
+            out["s"] = "t"
+        else:
+            out["ph"] = "X"
+            out["dur"] = event["dur"] * 1e6
+        trace_events.append(out)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def read_jsonl(path):
+    """Parse a JSONL trace back into a list of event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def read_chrome(path):
+    """Parse a Chrome-format trace file, validating its structure.
+
+    Returns the list of trace events; raises ``ValueError`` if the file
+    is not a well-formed trace (the shape ``chrome://tracing`` checks).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError("not a Chrome trace: missing traceEvents")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for event in events:
+        if not isinstance(event, dict):
+            raise ValueError("trace event must be an object: %r" % (event,))
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in event:
+                raise ValueError("trace event missing %r: %r" % (field, event))
+        if event["ph"] == "X" and "dur" not in event:
+            raise ValueError("complete event missing dur: %r" % (event,))
+    return events
+
+
+# -- the null backend ---------------------------------------------------------
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer stand-in whose spans are shared no-ops."""
+
+    enabled = False
+    events = ()
+
+    def span(self, name, **args):
+        return _NULL_SPAN
+
+    def instant(self, name, **args):
+        pass
+
+    def clear(self):
+        pass
+
+    def export_jsonl(self, path):
+        raise ValueError("tracing is disabled; nothing to export")
+
+    export_chrome = export_jsonl
+    export = export_jsonl
+
+
+NULL_TRACER = NullTracer()

@@ -2,7 +2,9 @@
 
 from repro.solver.engine import RegexSolver
 from repro.solver.graph import RegexGraph
-from repro.solver.result import Budget, SAT, SolverResult, UNKNOWN, UNSAT
+from repro.solver.result import (
+    Budget, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT,
+)
 from repro.solver.rules import PropagationEngine, RuleTrace
 from repro.solver.smt import SmtSolver
 from repro.solver.context import SolverContext
@@ -10,7 +12,7 @@ from repro.solver.equivalence import BisimulationChecker
 from repro.solver import baselines, formula
 
 __all__ = [
-    "RegexSolver", "RegexGraph", "Budget", "SolverResult",
+    "RegexSolver", "RegexGraph", "Budget", "SolverResult", "SolverStats",
     "SAT", "UNSAT", "UNKNOWN",
     "PropagationEngine", "RuleTrace", "SmtSolver", "formula",
     "SolverContext", "BisimulationChecker", "baselines",

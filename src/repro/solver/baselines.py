@@ -26,40 +26,60 @@ from repro.automata.sfa import StateBudget
 from repro.derivatives.antimirov import linear_form
 from repro.derivatives.brzozowski import brzozowski, sorted_predicates
 from repro.errors import BudgetExceeded, UnsupportedError
+from repro.obs import Observability
 from repro.solver.result import Budget, SAT, SolverResult, UNKNOWN, UNSAT
 
 
-class EagerAutomataSolver:
+class _BaselineObsMixin:
+    """Shared telemetry wiring: every baseline reports its explored
+    states under a scope named after the engine, so dZ3 and the
+    baselines are comparable on the same dashboards."""
+
+    def _init_obs(self, obs):
+        self.obs = obs if obs is not None else Observability()
+        scope = self.obs.metrics.scope("baseline").scope(self.name)
+        self._c_queries = scope.counter("queries")
+        self._c_explored = scope.counter("explored")
+        self._tracer = self.obs.tracer
+
+
+class EagerAutomataSolver(_BaselineObsMixin):
     """Approach 1: compile the whole ERE to an automaton, then ask."""
 
     name = "eager-sfa"
 
-    def __init__(self, builder, max_states=100000, determinize_all=False):
+    def __init__(self, builder, max_states=100000, determinize_all=False,
+                 obs=None):
         self.builder = builder
         self.algebra = builder.algebra
         self.max_states = max_states
         self.determinize_all = determinize_all
         if determinize_all:
             self.name = "eager-dfa"
+        self._init_obs(obs)
 
     def is_satisfiable(self, regex, budget=None):
         states = StateBudget(self.max_states)
+        self._c_queries.inc()
         try:
-            sfa = eager_compile(self.algebra, regex, states)
-            if self.determinize_all and not sfa.deterministic:
-                sfa = determinize(sfa, states)
-            empty, witness = sfa.is_empty()
+            with self._tracer.span("solver.explore", engine=self.name):
+                sfa = eager_compile(self.algebra, regex, states)
+                if self.determinize_all and not sfa.deterministic:
+                    sfa = determinize(sfa, states)
+                empty, witness = sfa.is_empty()
         except BudgetExceeded as exc:
+            self._c_explored.inc(states.created)
             return SolverResult(
                 UNKNOWN, reason=str(exc), stats={"states_created": states.created}
             )
+        self._c_explored.inc(states.created)
         stats = {"states_created": states.created}
         if empty:
             return SolverResult(UNSAT, stats=stats)
         return SolverResult(SAT, witness=witness, stats=stats)
 
 
-class AntimirovSolver:
+class AntimirovSolver(_BaselineObsMixin):
     """CVC4-style partial-derivative solver.
 
     Positive memberships and intersections go through Antimirov linear
@@ -75,15 +95,18 @@ class AntimirovSolver:
 
     name = "antimirov-pd"
 
-    def __init__(self, builder):
+    def __init__(self, builder, obs=None):
         self.builder = builder
         self.algebra = builder.algebra
+        self._init_obs(obs)
 
     def is_satisfiable(self, regex, budget=None):
         budget = budget or Budget()
+        self._c_queries.inc()
         try:
             positive, negatives = self._split(regex)
-            return self._search(positive, negatives, budget)
+            with self._tracer.span("solver.explore", engine=self.name):
+                return self._search(positive, negatives, budget)
         except UnsupportedError as exc:
             return SolverResult(UNKNOWN, reason=str(exc))
         except BudgetExceeded as exc:
@@ -138,6 +161,7 @@ class AntimirovSolver:
             budget.tick()
             state = stack.pop()
             explored += 1
+            self._c_explored.inc()
             pos, subsets = state
             pos_pairs = linear_form(builder, pos)
             subset_pairs = [
@@ -172,7 +196,7 @@ class AntimirovSolver:
         return SolverResult(UNSAT, stats={"states": explored})
 
 
-class MintermSolver:
+class MintermSolver(_BaselineObsMixin):
     """Global mintermization + classical Brzozowski derivatives.
 
     The alphabet is finitized once per query: every derivative step
@@ -183,16 +207,18 @@ class MintermSolver:
 
     name = "brzozowski-minterm"
 
-    def __init__(self, builder, max_minterms=4096):
+    def __init__(self, builder, max_minterms=4096, obs=None):
         self.builder = builder
         self.algebra = builder.algebra
         self.max_minterms = max_minterms
+        self._init_obs(obs)
 
     def is_satisfiable(self, regex, budget=None):
         budget = budget or Budget()
         builder = self.builder
         algebra = self.algebra
         preds = sorted_predicates(regex)
+        self._c_queries.inc()
         try:
             parts = minterms(algebra, preds)
             if len(parts) > self.max_minterms:
@@ -210,6 +236,7 @@ class MintermSolver:
                 budget.tick()
                 state = queue.popleft()
                 explored += 1
+                self._c_explored.inc()
                 for char in letters:
                     budget.tick()
                     target = brzozowski(builder, state, char)

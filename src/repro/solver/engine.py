@@ -9,12 +9,16 @@ answers ``unsat`` iff ``L(r)`` is empty (our character algebras are
 decidable, so the only source of ``unknown`` is an explicit budget).
 """
 
+import time
 from collections import deque
 
 from repro.derivatives.condtree import DerivativeEngine
 from repro.errors import BudgetExceeded
+from repro.obs import Observability
 from repro.solver.graph import RegexGraph
-from repro.solver.result import Budget, SAT, SolverResult, UNKNOWN, UNSAT
+from repro.solver.result import (
+    Budget, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT,
+)
 
 
 class RegexSolver:
@@ -23,13 +27,20 @@ class RegexSolver:
     The solver owns a :class:`DerivativeEngine` and a persistent
     :class:`RegexGraph`; both accumulate knowledge across queries, so
     related queries get faster, exactly as dZ3's global graph does.
+
+    ``obs`` is an :class:`~repro.obs.Observability` bundle; the default
+    keeps metrics on (they are cheap) and tracing off.  Pass
+    ``Observability.tracing()`` to record spans, or
+    ``Observability.disabled()`` to strip even the counters.
     """
 
-    def __init__(self, builder, strategy="dfs"):
+    def __init__(self, builder, strategy="dfs", obs=None):
         self.builder = builder
         self.algebra = builder.algebra
-        self.engine = DerivativeEngine(builder)
-        self.graph = RegexGraph(is_final=lambda r: r.nullable)
+        self.obs = obs if obs is not None else Observability()
+        self.algebra.bind_metrics(self.obs.metrics, self.obs.tracer)
+        self.engine = DerivativeEngine(builder, obs=self.obs)
+        self.graph = RegexGraph(is_final=lambda r: r.nullable, obs=self.obs)
         if strategy not in ("dfs", "bfs"):
             raise ValueError("strategy must be 'dfs' or 'bfs'")
         # dZ3's unfolding is model-guided depth-first: it commits to one
@@ -37,6 +48,26 @@ class RegexSolver:
         # instances resolve without enumerating whole breadth levels.
         # BFS yields shortest witnesses; DFS is the default.
         self.strategy = strategy
+        scope = self.obs.metrics.scope("solver")
+        self._c_queries = scope.counter("queries")
+        self._c_witnesses = scope.counter("witnesses")
+        self._h_query_states = scope.histogram("query_states")
+        self._tracer = self.obs.tracer
+        #: states popped across all queries (plain int on the hot path;
+        #: published to the registry by _sync_registry per query)
+        self._explored_n = 0
+
+    def _sync_registry(self):
+        """Push the plain-int hot-path counters of every layer into the
+        metrics registry — called once per query, so ``obs.metrics.
+        snapshot()`` is consistent at query boundaries."""
+        metrics = self.obs.metrics
+        if not metrics.enabled:
+            return
+        metrics.scope("solver").counter("explored").value = self._explored_n
+        self.engine.sync_metrics()
+        self.graph.sync_metrics()
+        self.algebra.sync_metrics()
 
     # -- public queries -------------------------------------------------------
 
@@ -44,15 +75,19 @@ class RegexSolver:
         """Is ``L(regex)`` nonempty?  Returns a result with a witness
         string when satisfiable."""
         budget = budget or Budget()
-        try:
-            witness = self._explore(regex, budget)
-        except BudgetExceeded as exc:
-            return SolverResult(
-                UNKNOWN, reason=str(exc), stats=self._stats(budget)
-            )
+        self._c_queries.inc()
+        mark = self._mark(budget)
+        with self._tracer.span("solver.explore", strategy=self.strategy):
+            try:
+                witness = self._explore(regex, budget)
+            except BudgetExceeded as exc:
+                return SolverResult(
+                    UNKNOWN, reason=str(exc), stats=self._stats(mark, budget)
+                )
         if witness is None:
-            return SolverResult(UNSAT, stats=self._stats(budget))
-        return SolverResult(SAT, witness=witness, stats=self._stats(budget))
+            return SolverResult(UNSAT, stats=self._stats(mark, budget))
+        self._c_witnesses.inc()
+        return SolverResult(SAT, witness=witness, stats=self._stats(mark, budget))
 
     def is_empty(self, regex, budget=None):
         """Is ``L(regex)`` empty?  (The complement view of sat.)"""
@@ -123,6 +158,7 @@ class RegexSolver:
         while queue:
             budget.tick()
             vertex = queue.popleft() if self.strategy == "bfs" else queue.pop()
+            self._explored_n += 1
             if graph.is_dead(vertex):
                 continue
             edges = self._edges(vertex)
@@ -173,10 +209,61 @@ class RegexSolver:
             chars.append(char)
         return "".join(reversed(chars))
 
-    def _stats(self, budget):
-        stats = self.graph.stats()
-        stats["fuel_used"] = budget.fuel_used
-        stats["elapsed"] = budget.elapsed
-        stats["interned_regexes"] = self.builder.interned_count
-        stats["sat_checks"] = self.engine.sat_checks
-        return stats
+    def _mark(self, budget):
+        """Snapshot the cumulative counters at query entry, so the
+        query's :class:`SolverStats` can report per-query deltas (the
+        memo tables and graph persist across queries on purpose)."""
+        engine = self.engine
+        return {
+            "graph": self.graph.stats(),
+            "explored": self._explored_n,
+            "sat_checks": engine.sat_checks,
+            "deriv_memo_hits": engine.deriv_memo_hits,
+            "deriv_memo_misses": engine.deriv_memo_misses,
+            "meld_memo_hits": engine.meld_memo_hits,
+            "meld_memo_misses": engine.meld_memo_misses,
+            "algebra_ops": self.algebra.op_count,
+            "interned": self.builder.interned_count,
+            "fuel_used": budget.fuel_used,
+            "started": time.perf_counter(),
+        }
+
+    def _stats(self, mark, budget):
+        engine = self.engine
+        graph_now = self.graph.stats()
+        graph_then = mark["graph"]
+        explored = self._explored_n - mark["explored"]
+        self._h_query_states.observe(explored)
+        self._sync_registry()
+        lifetime = dict(graph_now)
+        lifetime.update({
+            "queries": self._c_queries.value,
+            "explored": self._explored_n,
+            "sat_checks": engine.sat_checks,
+            "deriv_memo_hits": engine.deriv_memo_hits,
+            "deriv_memo_misses": engine.deriv_memo_misses,
+            "meld_memo_hits": engine.meld_memo_hits,
+            "meld_memo_misses": engine.meld_memo_misses,
+            "algebra_ops": self.algebra.op_count,
+            "interned_regexes": self.builder.interned_count,
+            "fuel_used": budget.fuel_used,
+        })
+        return SolverStats(
+            explored=explored,
+            vertices=graph_now["vertices"] - graph_then["vertices"],
+            edges=graph_now["edges"] - graph_then["edges"],
+            final=graph_now["final"] - graph_then["final"],
+            closed=graph_now["closed"] - graph_then["closed"],
+            alive=graph_now["alive"] - graph_then["alive"],
+            dead=graph_now["dead"] - graph_then["dead"],
+            sat_checks=engine.sat_checks - mark["sat_checks"],
+            deriv_memo_hits=engine.deriv_memo_hits - mark["deriv_memo_hits"],
+            deriv_memo_misses=engine.deriv_memo_misses - mark["deriv_memo_misses"],
+            meld_memo_hits=engine.meld_memo_hits - mark["meld_memo_hits"],
+            meld_memo_misses=engine.meld_memo_misses - mark["meld_memo_misses"],
+            algebra_ops=self.algebra.op_count - mark["algebra_ops"],
+            fuel_used=budget.fuel_used - mark["fuel_used"],
+            elapsed=time.perf_counter() - mark["started"],
+            interned_regexes=self.builder.interned_count - mark["interned"],
+            lifetime=lifetime,
+        )

@@ -21,13 +21,14 @@ The graph treats vertices as opaque hashable objects except for the
 finality predicate supplied by the caller (for regexes: nullability).
 """
 
+from repro.obs import NULL_OBS
 from repro.solver.scc import IncrementalSCC
 
 
 class RegexGraph:
     """Incrementally built reachability graph with Alive/Dead marking."""
 
-    def __init__(self, is_final):
+    def __init__(self, is_final, obs=None):
         self._is_final = is_final
         self._succ = {}
         self._pred = {}
@@ -38,6 +39,20 @@ class RegexGraph:
         self._scc = IncrementalSCC()
         #: counters reported by benchmark harnesses
         self.edges_added = 0
+        self._obs = obs if obs is not None else NULL_OBS
+        #: bound ``tracer.span`` when tracing is live, else None
+        self._span = self._obs.tracer.span if self._obs.tracer.enabled else None
+
+    def sync_metrics(self):
+        """Publish the graph's structural counters into the ``graph``
+        scope of the metrics registry (no-op when metrics are off)."""
+        metrics = self._obs.metrics
+        if not metrics.enabled:
+            return
+        scope = metrics.scope("graph")
+        scope.counter("updates").value = len(self._closed)
+        scope.counter("edges").value = self.edges_added
+        scope.counter("dead_marked").value = len(self._dead)
 
     # -- structure ------------------------------------------------------------
 
@@ -71,6 +86,13 @@ class RegexGraph:
         self.add_vertex(vertex)
         if vertex in self._closed:
             return
+        if self._span is not None:
+            with self._span("graph.update", targets=len(targets)):
+                self._update(vertex, targets)
+        else:
+            self._update(vertex, targets)
+
+    def _update(self, vertex, targets):
         for target in targets:
             self.add_vertex(target)
             if target not in self._succ[vertex]:

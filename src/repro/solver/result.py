@@ -1,4 +1,4 @@
-"""Solver results and resource budgets."""
+"""Solver results, typed per-query statistics, and resource budgets."""
 
 import time
 
@@ -21,6 +21,7 @@ class Budget:
         self.fuel = fuel
         self.fuel_used = 0
         self.seconds = seconds
+        self.ticks = 0
         self.started = time.perf_counter()
 
     def tick(self, amount=1):
@@ -30,7 +31,10 @@ class Budget:
             raise BudgetExceeded(
                 "fuel exhausted", fuel_used=self.fuel_used, elapsed=self.elapsed
             )
-        if self.seconds is not None and self.fuel_used % 64 == 0:
+        if self.seconds is not None:
+            # check on every tick: the old `fuel_used % 64` guard never
+            # fired when a tick with amount > 1 jumped the boundary
+            self.ticks += 1
             if self.elapsed > self.seconds:
                 raise BudgetExceeded(
                     "wall clock exceeded", fuel_used=self.fuel_used,
@@ -47,6 +51,87 @@ class Budget:
         return max(self.fuel - self.fuel_used, 0)
 
 
+class SolverStats:
+    """Typed snapshot of the work one query performed.
+
+    Every field is a *per-query* delta — :class:`~repro.solver.engine.
+    RegexSolver` snapshots its cumulative counters at query entry and
+    reports the difference — while ``lifetime`` holds the solver's
+    cumulative counters, since the derivative memo tables and the
+    reachability graph persist across queries on purpose.
+
+    Behaves like a read-only mapping for backward compatibility with
+    the free-form stats dict it replaced (``stats["vertices"]``,
+    ``"sat_checks" in stats`` and friends keep working).
+    """
+
+    _FIELDS = (
+        "explored", "vertices", "edges", "final", "closed", "alive", "dead",
+        "sat_checks", "deriv_memo_hits", "deriv_memo_misses",
+        "meld_memo_hits", "meld_memo_misses", "algebra_ops",
+        "fuel_used", "elapsed", "interned_regexes",
+    )
+
+    __slots__ = _FIELDS + ("lifetime",)
+
+    def __init__(self, lifetime=None, **fields):
+        for name in self._FIELDS:
+            setattr(self, name, fields.pop(name, 0))
+        if fields:
+            raise TypeError("unknown stats fields: %s" % sorted(fields))
+        self.lifetime = lifetime if lifetime is not None else {}
+
+    def to_dict(self):
+        out = {name: getattr(self, name) for name in self._FIELDS}
+        out["lifetime"] = dict(self.lifetime)
+        return out
+
+    # -- mapping compatibility ---------------------------------------------
+
+    def __getitem__(self, key):
+        if key == "lifetime":
+            return self.lifetime
+        if key in self._FIELDS:
+            return getattr(self, key)
+        raise KeyError(key)
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key):
+        return key == "lifetime" or key in self._FIELDS
+
+    def keys(self):
+        return list(self._FIELDS) + ["lifetime"]
+
+    def __iter__(self):
+        return iter(self.keys())
+
+    def __len__(self):
+        return len(self._FIELDS) + 1
+
+    def items(self):
+        return [(key, self[key]) for key in self.keys()]
+
+    def __eq__(self, other):
+        if isinstance(other, SolverStats):
+            return self.to_dict() == other.to_dict()
+        if isinstance(other, dict):
+            return self.to_dict() == other
+        return NotImplemented
+
+    def __repr__(self):
+        busy = ", ".join(
+            "%s=%r" % (name, getattr(self, name))
+            for name in self._FIELDS
+            if getattr(self, name)
+        )
+        return "SolverStats(%s)" % busy
+
+
 class SolverResult:
     """Outcome of a satisfiability-style query."""
 
@@ -56,7 +141,7 @@ class SolverResult:
         self.status = status
         self.witness = witness
         self.model = model
-        self.stats = stats or {}
+        self.stats = stats if stats is not None else {}
         self.reason = reason
 
     @property
@@ -70,6 +155,23 @@ class SolverResult:
     @property
     def is_unknown(self):
         return self.status == UNKNOWN
+
+    def to_dict(self):
+        """JSON-serializable view (used by the CLI and bench export)."""
+        stats = self.stats
+        if hasattr(stats, "to_dict"):
+            stats = stats.to_dict()
+        else:
+            stats = dict(stats)
+        out = {
+            "status": self.status,
+            "witness": self.witness,
+            "reason": self.reason,
+            "stats": stats,
+        }
+        if self.model is not None:
+            out["model"] = dict(self.model)
+        return out
 
     def __repr__(self):
         extra = ""

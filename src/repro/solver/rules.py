@@ -27,15 +27,23 @@ from repro.solver.result import Budget, SAT, SolverResult, UNKNOWN, UNSAT
 
 
 class RuleTrace:
-    """Bounded log of rule firings."""
+    """Bounded log of rule firings.
 
-    def __init__(self, limit=10000):
+    When ``metrics`` (a registry scope) is supplied, every firing also
+    bumps a per-rule counter there, so rule activity shows up on the
+    same dashboards as the optimized engine's counters.
+    """
+
+    def __init__(self, limit=10000, metrics=None):
         self.entries = []
         self.counts = {}
         self.limit = limit
+        self._metrics = metrics
 
     def fire(self, rule, detail=""):
         self.counts[rule] = self.counts.get(rule, 0) + 1
+        if self._metrics is not None:
+            self._metrics.counter(rule).inc()
         if len(self.entries) < self.limit:
             self.entries.append((rule, detail))
 
@@ -58,7 +66,9 @@ class PropagationEngine:
     def solve(self, regex, budget=None, trace=None):
         """Run the propagation rules to decide ``exists s. in(s, r)``."""
         budget = budget or Budget()
-        trace = trace if trace is not None else RuleTrace()
+        obs = self.solver.obs
+        if trace is None:
+            trace = RuleTrace(metrics=obs.metrics.scope("rules"))
         graph = self.solver.graph
         engine = self.solver.engine
         # each work item: (regex goal, prefix string fixed so far)

@@ -15,6 +15,7 @@ baseline, isolating the algorithmic comparison the paper makes.
 from itertools import product
 
 from repro.errors import BudgetExceeded, UnsupportedError
+from repro.obs import NULL_OBS
 from repro.solver import formula as F
 from repro.solver.engine import RegexSolver
 from repro.solver.result import Budget, SAT, SolverResult, UNKNOWN, UNSAT
@@ -23,9 +24,18 @@ from repro.solver.result import Budget, SAT, SolverResult, UNKNOWN, UNSAT
 class SmtSolver:
     """Solves quantifier-free Boolean combinations of string atoms."""
 
-    def __init__(self, builder, regex_engine=None):
+    def __init__(self, builder, regex_engine=None, obs=None):
         self.builder = builder
-        self.engine = regex_engine or RegexSolver(builder)
+        if regex_engine is None:
+            regex_engine = RegexSolver(builder, obs=obs)
+        self.engine = regex_engine
+        # share the regex engine's telemetry unless told otherwise, so
+        # SMT-level case splits land in the same registry and trace
+        if obs is None:
+            obs = getattr(regex_engine, "obs", NULL_OBS)
+        self.obs = obs
+        self._c_case_splits = obs.metrics.scope("smt").counter("case_splits")
+        self._tracer = obs.tracer
 
     def solve(self, formula, budget=None):
         """Decide satisfiability; on SAT the result carries a model
@@ -33,21 +43,34 @@ class SmtSolver:
         budget = budget or Budget()
         saw_unknown = False
         unknown_reason = None
+        case_splits = 0
         try:
             for literals in _disjuncts(F.nnf(formula)):
-                outcome = self._solve_conjunct(literals, budget)
+                case_splits += 1
+                self._c_case_splits.inc()
+                with self._tracer.span("smt.case_split", literals=len(literals)):
+                    outcome = self._solve_conjunct(literals, budget)
                 if outcome is None:
                     saw_unknown = True
                     continue
                 if outcome is not False:
-                    return SolverResult(SAT, model=outcome)
+                    return SolverResult(
+                        SAT, model=outcome, stats={"case_splits": case_splits}
+                    )
         except BudgetExceeded as exc:
-            return SolverResult(UNKNOWN, reason=str(exc))
+            return SolverResult(
+                UNKNOWN, reason=str(exc), stats={"case_splits": case_splits}
+            )
         except UnsupportedError as exc:
-            return SolverResult(UNKNOWN, reason=str(exc))
+            return SolverResult(
+                UNKNOWN, reason=str(exc), stats={"case_splits": case_splits}
+            )
         if saw_unknown:
-            return SolverResult(UNKNOWN, reason=unknown_reason or "incomplete branch")
-        return SolverResult(UNSAT)
+            return SolverResult(
+                UNKNOWN, reason=unknown_reason or "incomplete branch",
+                stats={"case_splits": case_splits},
+            )
+        return SolverResult(UNSAT, stats={"case_splits": case_splits})
 
     def _solve_conjunct(self, literals, budget):
         """One DNF branch.  Returns a model dict, False (branch unsat),

@@ -1,0 +1,16 @@
+"""Tier-1 wrapper for ``scripts/smoke_obs.py``."""
+
+import importlib.util
+import os
+
+SCRIPT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "..",
+    "scripts", "smoke_obs.py",
+)
+
+
+def test_smoke_obs_script():
+    spec = importlib.util.spec_from_file_location("smoke_obs", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert module.main() == 0

@@ -1,0 +1,118 @@
+"""Span nesting, export round-trips, and the null tracer."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer, chrome_trace, read_chrome, read_jsonl
+
+
+def make_tracer():
+    """A tracer over a deterministic fake clock (one unit per call)."""
+    t = {"now": 0.0}
+
+    def clock():
+        t["now"] += 1.0
+        return t["now"]
+
+    return Tracer(clock=clock)
+
+
+def test_span_records_name_duration_and_args():
+    tracer = make_tracer()
+    with tracer.span("solver.explore", strategy="dfs"):
+        pass
+    (event,) = tracer.events
+    assert event["name"] == "solver.explore"
+    assert event["args"] == {"strategy": "dfs"}
+    assert event["dur"] == 1.0
+    assert event["depth"] == 0
+
+
+def test_span_nesting_depths():
+    tracer = make_tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner2"):
+            pass
+    by_name = {e["name"]: e for e in tracer.events}
+    assert by_name["outer"]["depth"] == 0
+    assert by_name["inner"]["depth"] == 1
+    assert by_name["inner2"]["depth"] == 1
+    # inner spans complete before the outer one
+    assert [e["name"] for e in tracer.events] == ["inner", "inner2", "outer"]
+
+
+def test_instant_event():
+    tracer = make_tracer()
+    tracer.instant("marker", detail=7)
+    (event,) = tracer.events
+    assert event["instant"] and event["dur"] == 0.0
+    assert event["args"] == {"detail": 7}
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = make_tracer()
+    with tracer.span("a", k=1):
+        with tracer.span("b"):
+            pass
+    path = str(tmp_path / "trace.jsonl")
+    assert tracer.export(path) == 2  # .jsonl extension selects JSONL
+    events = read_jsonl(path)
+    assert events == tracer.events
+
+
+def test_chrome_round_trip(tmp_path):
+    tracer = make_tracer()
+    with tracer.span("solver.explore"):
+        pass
+    tracer.instant("mark")
+    path = str(tmp_path / "trace.json")
+    assert tracer.export(path) == 2  # non-.jsonl extension selects Chrome
+    events = read_chrome(path)
+    spans = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(spans) == 1 and len(instants) == 1
+    assert spans[0]["name"] == "solver.explore"
+    assert spans[0]["dur"] == pytest.approx(1e6)  # microseconds
+
+
+def test_chrome_trace_shape():
+    trace = chrome_trace([
+        {"name": "x", "ts": 0.5, "dur": 0.25, "depth": 0, "args": {}},
+    ])
+    assert trace["displayTimeUnit"] == "ms"
+    (event,) = trace["traceEvents"]
+    assert event["ph"] == "X"
+    assert event["ts"] == pytest.approx(0.5e6)
+    assert event["dur"] == pytest.approx(0.25e6)
+    assert event["pid"] == event["tid"] == 0
+
+
+def test_read_chrome_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"traceEvents": [{"name": "x"}]}')
+    with pytest.raises(ValueError):
+        read_chrome(str(path))
+    path.write_text('[1, 2, 3]')
+    with pytest.raises(ValueError):
+        read_chrome(str(path))
+
+
+def test_clear():
+    tracer = make_tracer()
+    with tracer.span("x"):
+        pass
+    tracer.clear()
+    assert tracer.events == []
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.enabled is False
+    span = NULL_TRACER.span("anything", k=1)
+    with span:
+        pass
+    assert NULL_TRACER.span("other") is span  # shared no-op
+    NULL_TRACER.instant("x")
+    assert NULL_TRACER.events == ()
+    with pytest.raises(ValueError):
+        NULL_TRACER.export("/tmp/nope.json")
