@@ -18,7 +18,7 @@ from repro.derivatives.dnf import delta_dnf
 from repro.regex import RegexBuilder, parse
 from repro.solver import Budget, RegexSolver
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 PATTERNS = [
     r"(.*\d.*)&~(.*01.*)",
@@ -67,6 +67,11 @@ def test_ablation_fused_vs_literal(benchmark, builder):
     )
     print("\n" + text)
     write_artifact("ablations_fused.txt", text)
+    write_json_artifact("ablations_fused.json", {
+        "fused_states": fused_states,
+        "literal_states": literal_states,
+        "literal_seconds": literal_time,
+    })
     assert fused_states <= literal_states
 
 
@@ -95,6 +100,11 @@ def test_ablation_dfs_vs_bfs(benchmark, builder):
     text = "\n".join(lines)
     print("\n" + text)
     write_artifact("ablations_strategy.txt", text)
+    write_json_artifact("ablations_strategy.json", {
+        "dfs": {"status": result.status, "fuel": dfs_fuel},
+        "bfs": {"status": bfs.status,
+                "fuel": None if bfs.is_unknown else bfs.stats["fuel_used"]},
+    })
 
 
 def test_ablation_interval_vs_bdd(benchmark):
@@ -120,6 +130,9 @@ def test_ablation_interval_vs_bdd(benchmark):
     )
     print("\n" + text)
     write_artifact("ablations_algebra.txt", text)
+    write_json_artifact("ablations_algebra.json", {
+        "interval_s": interval_time, "bdd_s": bdd_time,
+    })
 
 
 def test_ablation_simplify_pass(benchmark, builder):
@@ -143,4 +156,7 @@ def test_ablation_simplify_pass(benchmark, builder):
     )
     print("\n" + text)
     write_artifact("ablations_simplify.txt", text)
+    write_json_artifact("ablations_simplify.json", {
+        "states_plain": plain, "states_simplified": simplified,
+    })
     assert simplified <= plain

@@ -15,7 +15,7 @@ from repro.regex import parse
 from repro.solver import Budget, RegexSolver
 from repro.solver.baselines import EagerAutomataSolver
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 KS = (4, 8, 16, 32, 64)
 
@@ -62,3 +62,8 @@ def test_blowup_sweep_lazy(benchmark, builder):
     text = "\n".join(lines)
     print("\n" + text)
     write_artifact("blowup_sweep.txt", text)
+    write_json_artifact("blowup_sweep.json", {
+        "columns": ["k", "status", "seconds", "states"],
+        "lazy": rows,
+        "eager_dfa": eager_rows,
+    })

@@ -8,7 +8,7 @@ from repro.bench.generators import norn, regexlib, sygus
 from repro.bench.harness import run_problem
 from repro.bench.suites import label_problems
 
-from conftest import BUDGET_SECONDS, FUEL
+from conftest import BUDGET_SECONDS, FUEL, write_records_artifact
 
 SUITES = [
     ("norn_b", norn.generate_b),
@@ -30,6 +30,7 @@ def test_boolean_suite(benchmark, builder, name, generate):
         ]
 
     records = benchmark.pedantic(solve_suite, rounds=1, iterations=1)
+    write_records_artifact("boolean_%s.json" % name, records)
     solved = sum(1 for r in records if r.solved)
     benchmark.extra_info["solved"] = "%d/%d" % (solved, len(records))
     assert solved == len(records)

@@ -12,6 +12,7 @@ from repro.bench.reporting import figure_4a_table, speedup_vs
 
 from conftest import (
     BUDGET_SECONDS, all_engines, ensure_engine_records, write_artifact,
+    write_records_artifact,
 )
 
 ENGINES = all_engines()
@@ -45,3 +46,4 @@ def test_fig4a_engine_pass(benchmark, engine, builder, problems, records_store):
         text = "\n".join(lines)
         print("\n" + text)
         write_artifact("fig4a_summary.txt", text)
+        write_records_artifact("fig4a_records.json", merged)

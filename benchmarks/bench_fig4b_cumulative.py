@@ -10,7 +10,9 @@ import pytest
 
 from repro.bench.reporting import figure_4b_series, render_4b
 
-from conftest import all_engines, ensure_engine_records, write_artifact
+from conftest import (
+    all_engines, ensure_engine_records, write_artifact, write_json_artifact,
+)
 
 ENGINES = all_engines()
 
@@ -27,6 +29,7 @@ def test_fig4b_cumulative(benchmark, builder, problems, records_store):
     text = render_4b(series)
     print("\n" + text)
     write_artifact("fig4b_cumulative.txt", text)
+    write_json_artifact("fig4b_cumulative.json", series)
     # sanity: the reference engine solves at least as many handwritten
     # benchmarks as every baseline (the paper's headline claim)
     sbd_solved = series["H"]["sbd"][-1][1] if series["H"]["sbd"] else 0

@@ -9,7 +9,7 @@ from repro.regex import RegexBuilder
 from repro.bench.reporting import figure_4c_table
 from repro.bench.suites import all_suites, label_problems, suite_inventory
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 
 def test_fig4c_inventory(benchmark):
@@ -22,6 +22,8 @@ def test_fig4c_inventory(benchmark):
         generate_and_label, rounds=1, iterations=1
     )
     assert all(p.expected in ("sat", "unsat") for p in problems)
-    text = figure_4c_table(suite_inventory(builder))
+    inventory = suite_inventory(builder)
+    text = figure_4c_table(inventory)
     print("\n" + text)
     write_artifact("fig4c_inventory.txt", text)
+    write_json_artifact("fig4c_inventory.json", inventory)

@@ -9,7 +9,7 @@ from repro.bench.engines import reference_engine
 from repro.bench.generators import blowup, boolean_loops, dates, passwords
 from repro.bench.harness import run_problem
 
-from conftest import BUDGET_SECONDS, FUEL
+from conftest import BUDGET_SECONDS, FUEL, write_records_artifact
 
 SUITES = [
     ("date", dates.generate),
@@ -31,6 +31,7 @@ def test_handwritten_suite(benchmark, builder, name, generate):
         ]
 
     records = benchmark.pedantic(solve_suite, rounds=1, iterations=1)
+    write_records_artifact("handwritten_%s.json" % name, records)
     solved = sum(1 for r in records if r.outcome == "correct")
     benchmark.extra_info["solved"] = "%d/%d" % (solved, len(records))
     # the paper: dZ3 solves ~88% of handwritten; ours should ace its

@@ -13,7 +13,7 @@ from repro.bench.generators.patterns import PATTERNS
 from repro.matcher import LazyDfa, RegexMatcher
 from repro.regex import parse
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 
 def make_text(seed=99, size=20000):
@@ -62,3 +62,10 @@ def test_matching_throughput(benchmark, builder):
     text_out = "\n".join(lines)
     print("\n" + text_out)
     write_artifact("matching.txt", text_out)
+    write_json_artifact("matching.json", {
+        "text_chars": len(text),
+        "counts": counts,
+        "warm_scan_s": warm,
+        "dfa_states_built": dfa.states_built,
+        "dfa_steps": dfa.steps,
+    })

@@ -8,7 +8,7 @@ from repro.bench.engines import reference_engine
 from repro.bench.generators import kaluza, norn, slog
 from repro.bench.harness import run_problem
 
-from conftest import BUDGET_SECONDS, FUEL
+from conftest import BUDGET_SECONDS, FUEL, write_records_artifact
 
 SUITES = [
     ("kaluza", kaluza.generate),
@@ -29,6 +29,7 @@ def test_standard_suite(benchmark, builder, name, generate):
         ]
 
     records = benchmark.pedantic(solve_suite, rounds=1, iterations=1)
+    write_records_artifact("standard_%s.json" % name, records)
     solved = sum(1 for r in records if r.outcome == "correct")
     benchmark.extra_info["solved"] = "%d/%d" % (solved, len(records))
     assert solved == len(records)

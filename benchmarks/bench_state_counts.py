@@ -9,7 +9,7 @@ from repro.bench.generators.patterns import PATTERN_NAMES, PATTERNS
 from repro.regex import parse
 from repro.sbfa.sbfa import from_regex
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 
 def expanded_pred_count(regex):
@@ -34,6 +34,7 @@ def test_state_counts_on_regexlib(benchmark, builder):
 
     sbfas = benchmark.pedantic(build_all, rounds=1, iterations=1)
     lines = ["%-16s %8s %8s %8s" % ("pattern", "states", "bound", "ratio")]
+    cells = {}
     worst = 0.0
     for name in PATTERN_NAMES:
         states = sbfas[name].state_count
@@ -42,7 +43,10 @@ def test_state_counts_on_regexlib(benchmark, builder):
         ratio = states / bound
         worst = max(worst, ratio)
         lines.append("%-16s %8d %8d %8.2f" % (name, states, bound, ratio))
+        cells[name] = {"states": states, "bound": bound, "ratio": ratio}
     lines.append("worst ratio: %.2f (1.00 would saturate Theorem 7.3)" % worst)
     text = "\n".join(lines)
     print("\n" + text)
     write_artifact("state_counts.txt", text)
+    write_json_artifact("state_counts.json",
+                        {"patterns": cells, "worst_ratio": worst})

@@ -14,6 +14,7 @@ from repro.alphabet import IntervalAlgebra
 from repro.regex import RegexBuilder
 from repro.bench.engines import default_engines
 from repro.bench.harness import run_problem
+from repro.bench.reporting import records_json, write_json_payload
 from repro.bench.suites import all_suites, label_problems
 
 #: Per-problem budget (the paper used 10 s wall clock; we use fuel to
@@ -61,3 +62,16 @@ def write_artifact(name, text):
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
     return path
+
+
+def write_json_artifact(name, payload):
+    """Persist a machine-readable payload under benchmarks/out/ via
+    :func:`repro.bench.reporting.write_json_payload`."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return write_json_payload(payload, os.path.join(OUT_DIR, name))
+
+
+def write_records_artifact(name, records, budget_seconds=BUDGET_SECONDS):
+    """Persist harness records (counters included) as JSON under
+    benchmarks/out/ — the format the BENCH snapshot pipeline consumes."""
+    return write_json_artifact(name, records_json(records, budget_seconds))

@@ -14,10 +14,12 @@ Commands:
 
 All commands take ``--ascii`` (7-bit domain), ``--fuel N`` and
 ``--seconds S`` budget flags, plus the telemetry flags ``--stats``
-(print the solver's per-query counters and metrics snapshot) and
+(print the solver's per-query counters and metrics snapshot),
 ``--trace FILE`` (record nested spans; ``.jsonl`` writes JSONL,
 anything else the Chrome ``trace_event`` format that loads in
-``chrome://tracing`` / Perfetto).
+``chrome://tracing`` / Perfetto) and ``--profile FILE`` (write the
+span-derived collapsed stacks — flamegraph.pl / speedscope input —
+and print the top-K self-time hotspot table).
 """
 
 import argparse
@@ -26,7 +28,7 @@ import sys
 
 from repro.alphabet import IntervalAlgebra
 from repro.matcher import RegexMatcher
-from repro.obs import Observability, Tracer
+from repro.obs import Observability, Tracer, render_hotspots, write_collapsed
 from repro.regex import RegexBuilder, parse, to_pattern
 from repro.smtlib.interp import run_file
 from repro.solver import Budget, RegexSolver, SmtSolver
@@ -50,6 +52,10 @@ def build_parser():
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="record spans to FILE (.jsonl for JSONL, "
                              "anything else for Chrome trace_event)")
+    parser.add_argument("--profile", metavar="FILE", default=None,
+                        help="write span-derived collapsed stacks to FILE "
+                             "(flamegraph.pl / speedscope format) and print "
+                             "the self-time hotspot table")
     sub = parser.add_subparsers(dest="command", required=True)
 
     check = sub.add_parser("check", help="satisfiability of a pattern")
@@ -101,7 +107,7 @@ def main(argv=None):
     algebra = IntervalAlgebra(127) if args.ascii else IntervalAlgebra()
     builder = RegexBuilder(algebra)
     budget = lambda: Budget(fuel=args.fuel, seconds=args.seconds)
-    tracer = Tracer() if args.trace else None
+    tracer = Tracer() if (args.trace or args.profile) else None
     obs = Observability(tracer=tracer) if tracer else Observability()
     out = []
     result = None
@@ -170,7 +176,7 @@ def main(argv=None):
 
     if args.stats:
         out.extend(_stats_lines(result, obs))
-    if tracer is not None:
+    if args.trace and tracer is not None:
         try:
             count = tracer.export(args.trace)
         except OSError as exc:
@@ -179,6 +185,18 @@ def main(argv=None):
             status = status or 1
         else:
             out.append("trace: wrote %d events to %s" % (count, args.trace))
+    if args.profile and tracer is not None:
+        events = tracer.export_events()
+        try:
+            count = write_collapsed(events, args.profile)
+        except OSError as exc:
+            print("profile: cannot write %s: %s" % (args.profile, exc),
+                  file=sys.stderr)
+            status = status or 1
+        else:
+            out.append("profile: wrote %d stacks to %s"
+                       % (count, args.profile))
+            out.append(render_hotspots(events))
 
     print("\n".join(out))
     return status

@@ -1,15 +1,16 @@
-"""Benchmark harness, suite registry, engines and reporting for the
+"""Benchmark harness, suite registry, engines, reporting, and the
+performance-trend pipeline (BENCH snapshots + regression gate) for the
 Figure 4 evaluation."""
 
 from repro.bench.harness import (
     Engine, Problem, Record, cumulative, run_matrix, run_problem, summarize,
 )
 from repro.bench.engines import default_engines, reference_engine
-from repro.bench import generators, reporting, suites
+from repro.bench import compare, generators, reporting, snapshot, suites
 
 __all__ = [
     "Problem", "Engine", "Record",
     "run_problem", "run_matrix", "summarize", "cumulative",
     "default_engines", "reference_engine",
-    "suites", "reporting", "generators",
+    "suites", "reporting", "generators", "snapshot", "compare",
 ]

@@ -136,9 +136,20 @@ def records_json(records, budget_seconds=None):
 
 def write_json(records, path, budget_seconds=None):
     """Write :func:`records_json` to ``path``; returns the path."""
+    return write_json_payload(records_json(records, budget_seconds), path)
+
+
+def write_json_payload(payload, path):
+    """Write any JSON-serializable benchmark payload to ``path``.
+
+    The machine-readable side channel for the drivers whose artifact is
+    a table rather than harness records (state counts, blowup sweeps,
+    matching throughput): every suite feeds the BENCH snapshot pipeline
+    in the same on-disk dialect (sorted keys, indent 1).
+    """
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(records_json(records, budget_seconds), handle, indent=1,
-                  sort_keys=True)
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
     return path
 
 

@@ -10,7 +10,10 @@ carries an :class:`Observability` bundle through every layer:
 * ``obs.tracer`` — a :class:`~repro.obs.tracing.Tracer` producing
   nested spans (``solver.explore``, ``deriv.tree``, ``deriv.meld``,
   ``algebra.sat_check``, ``smt.case_split``, ``graph.update``) with
-  JSONL and Chrome ``trace_event`` export, off by default.
+  JSONL and Chrome ``trace_event`` export, off by default;
+* :mod:`repro.obs.profile` — span-stream attribution: collapsed-stack
+  output (flamegraph.pl / speedscope) and per-span self-time hotspot
+  tables, driving the CLI ``--profile`` flag and the BENCH snapshots.
 
 ``Observability.disabled()`` swaps both for no-op backends so
 instrumented hot paths cost one attribute lookup per event.
@@ -19,6 +22,10 @@ instrumented hot paths cost one attribute lookup per event.
 from repro.obs.metrics import (
     Counter, Gauge, Histogram, MetricsRegistry,
     NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM, NULL_METRICS, NullMetrics,
+)
+from repro.obs.profile import (
+    collapsed_stacks, hotspots, profile_summary, read_collapsed,
+    render_hotspots, write_collapsed,
 )
 from repro.obs.tracing import (
     NULL_TRACER, NullTracer, Tracer,
@@ -71,4 +78,6 @@ __all__ = [
     "NULL_HISTOGRAM",
     "Tracer", "NullTracer", "NULL_TRACER",
     "chrome_trace", "read_chrome", "read_jsonl",
+    "collapsed_stacks", "hotspots", "profile_summary", "read_collapsed",
+    "render_hotspots", "write_collapsed",
 ]

@@ -13,6 +13,12 @@ Finished spans accumulate on ``tracer.events`` and can be exported as
 * the Chrome ``trace_event`` JSON object format, which loads directly
   in ``chrome://tracing`` and https://ui.perfetto.dev.
 
+A span exited via an exception records the exception type under
+``args["error"]``, and spans still open at export time are flushed as
+events carrying ``"unfinished": True`` (duration measured up to the
+export call) rather than silently dropped — a trace taken from a
+crashed or budget-killed run stays attributable.
+
 The :class:`NullTracer` (:data:`NULL_TRACER`) makes every ``span()``
 call return a shared no-op context manager, so traced hot paths cost
 one attribute lookup plus an empty call when tracing is off.
@@ -36,6 +42,7 @@ class Span:
         tracer = self.tracer
         self.depth = tracer._depth
         tracer._depth += 1
+        tracer._open.append(self)
         self.start = tracer._clock()
         return self
 
@@ -43,12 +50,17 @@ class Span:
         tracer = self.tracer
         end = tracer._clock()
         tracer._depth -= 1
+        tracer._open.pop()
+        args = self.args
+        if exc_type is not None:
+            args = dict(args)
+            args["error"] = exc_type.__name__
         tracer.events.append({
             "name": self.name,
             "ts": self.start - tracer._t0,
             "dur": end - self.start,
             "depth": self.depth,
-            "args": self.args,
+            "args": args,
         })
         return False
 
@@ -62,6 +74,8 @@ class Tracer:
         self._clock = clock
         self._t0 = clock()
         self._depth = 0
+        #: spans entered but not yet exited, outermost first
+        self._open = []
         #: finished spans, in completion order
         self.events = []
 
@@ -84,19 +98,44 @@ class Tracer:
 
     # -- export ------------------------------------------------------------
 
+    def export_events(self):
+        """Finished events plus snapshots of still-open spans.
+
+        Open spans are flushed innermost first (so children precede
+        parents, like completion order) with their duration measured up
+        to now and an ``"unfinished": True`` marker; the spans stay
+        open on the tracer and will still record normally when exited.
+        """
+        if not self._open:
+            return list(self.events)
+        now = self._clock()
+        flushed = []
+        for span in reversed(self._open):
+            flushed.append({
+                "name": span.name,
+                "ts": span.start - self._t0,
+                "dur": now - span.start,
+                "depth": span.depth,
+                "args": span.args,
+                "unfinished": True,
+            })
+        return self.events + flushed
+
     def export_jsonl(self, path):
         """One JSON object per line; see :func:`read_jsonl`."""
+        events = self.export_events()
         with open(path, "w", encoding="utf-8") as handle:
-            for event in self.events:
+            for event in events:
                 handle.write(json.dumps(event, sort_keys=True))
                 handle.write("\n")
-        return len(self.events)
+        return len(events)
 
     def export_chrome(self, path):
         """Chrome ``trace_event`` JSON object format (Perfetto-loadable)."""
+        events = self.export_events()
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(chrome_trace(self.events), handle)
-        return len(self.events)
+            json.dump(chrome_trace(events), handle)
+        return len(events)
 
     def export(self, path):
         """Export choosing the format by extension: ``.jsonl`` writes
@@ -115,13 +154,16 @@ def chrome_trace(events):
     """
     trace_events = []
     for event in events:
+        args = dict(event.get("args") or {})
+        if event.get("unfinished"):
+            args["unfinished"] = True
         out = {
             "name": event["name"],
             "cat": "repro",
             "ts": event["ts"] * 1e6,
             "pid": 0,
             "tid": 0,
-            "args": event.get("args") or {},
+            "args": args,
         }
         if event.get("instant"):
             out["ph"] = "i"
@@ -198,6 +240,9 @@ class NullTracer:
 
     def clear(self):
         pass
+
+    def export_events(self):
+        return []
 
     def export_jsonl(self, path):
         raise ValueError("tracing is disabled; nothing to export")

@@ -77,13 +77,15 @@ class RegexSolver:
         budget = budget or Budget()
         self._c_queries.inc()
         mark = self._mark(budget)
-        with self._tracer.span("solver.explore", strategy=self.strategy):
-            try:
+        # the budget exception propagates *through* the span so the
+        # tracer records args["error"] = "BudgetExceeded" on it
+        try:
+            with self._tracer.span("solver.explore", strategy=self.strategy):
                 witness = self._explore(regex, budget)
-            except BudgetExceeded as exc:
-                return SolverResult(
-                    UNKNOWN, reason=str(exc), stats=self._stats(mark, budget)
-                )
+        except BudgetExceeded as exc:
+            return SolverResult(
+                UNKNOWN, reason=str(exc), stats=self._stats(mark, budget)
+            )
         if witness is None:
             return SolverResult(UNSAT, stats=self._stats(mark, budget))
         self._c_witnesses.inc()

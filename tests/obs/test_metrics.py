@@ -61,6 +61,38 @@ def test_histogram_quantile_upper_bound():
     assert Histogram("empty").quantile(0.5) is None
 
 
+def test_histogram_quantile_empty_is_none_for_every_q():
+    h = Histogram("empty")
+    assert h.quantile(0.0) is None
+    assert h.quantile(0.5) is None
+    assert h.quantile(1.0) is None
+
+
+def test_histogram_quantile_q0_and_q1_bracket_the_buckets():
+    h = Histogram("h")
+    for value in (3, 40, 500):  # buckets 2, 6, 9
+        h.observe(value)
+    # q=0 has rank 0: the first bucket already satisfies seen >= 0
+    assert h.quantile(0.0) == 2 ** 2
+    # q=1 needs every sample: the last bucket's upper bound
+    assert h.quantile(1.0) == 2 ** 9
+
+
+def test_histogram_quantile_single_observation():
+    h = Histogram("h")
+    h.observe(5)  # bucket 3: 4 < 5 <= 8
+    for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+        assert h.quantile(q) == 2 ** 3
+
+
+def test_histogram_quantile_zero_only_samples():
+    h = Histogram("h")
+    h.observe(0)
+    h.observe(0)
+    assert h.quantile(0.5) == 1  # bucket 0's upper bound is 2**0
+    assert h.quantile(1.0) == 1
+
+
 def test_histogram_snapshot_and_reset():
     h = Histogram("h")
     h.observe(7)
@@ -103,6 +135,28 @@ def test_registry_reset_recurses():
     c.inc(5)
     reg.reset()
     assert c.value == 0
+
+
+def test_registry_snapshot_after_reset_keeps_structure():
+    """Reset zeroes values but keeps every registered name visible, so
+    a post-reset snapshot still enumerates the metric tree."""
+    reg = MetricsRegistry()
+    reg.counter("top").inc(2)
+    reg.scope("solver").counter("explored").inc(7)
+    reg.scope("solver").gauge("depth").set(4)
+    reg.scope("deriv").histogram("sizes").observe(9)
+    reg.reset()
+    snap = reg.snapshot()
+    assert snap["top"] == 0
+    assert snap["solver.explored"] == 0
+    assert snap["solver.depth"] == 0
+    assert snap["deriv.sizes"] == {
+        "count": 0, "total": 0, "min": None, "max": None, "mean": 0.0,
+        "buckets": {},
+    }
+    # instruments handed out before the reset are still live
+    reg.scope("solver").counter("explored").inc()
+    assert reg.snapshot()["solver.explored"] == 1
 
 
 def test_null_backend_is_inert_and_shared():

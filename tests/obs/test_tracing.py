@@ -98,6 +98,95 @@ def test_read_chrome_rejects_malformed(tmp_path):
         read_chrome(str(path))
 
 
+def test_span_records_error_on_exception_exit():
+    tracer = make_tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("solver.explore", strategy="dfs"):
+            raise ValueError("boom")
+    (event,) = tracer.events
+    assert event["args"] == {"strategy": "dfs", "error": "ValueError"}
+    assert event["dur"] == 1.0  # timed up to the exception exit
+
+
+def test_span_error_does_not_mutate_caller_args():
+    tracer = make_tracer()
+    with tracer.span("a", k=1):
+        pass
+    span = tracer.span("a", k=1)
+    with pytest.raises(RuntimeError):
+        with span:
+            raise RuntimeError()
+    clean, errored = tracer.events
+    assert clean["args"] == {"k": 1}
+    assert errored["args"] == {"k": 1, "error": "RuntimeError"}
+    # the Span's own args stay pristine (the error copy is per-event)
+    assert span.args == {"k": 1}
+
+
+def test_export_events_flushes_open_spans_innermost_first():
+    tracer = make_tracer()
+    outer = tracer.span("outer")
+    outer.__enter__()
+    with tracer.span("done"):
+        pass
+    inner = tracer.span("inner")
+    inner.__enter__()
+    events = tracer.export_events()
+    assert [e["name"] for e in events] == ["done", "inner", "outer"]
+    flushed = {e["name"]: e for e in events if e.get("unfinished")}
+    assert set(flushed) == {"inner", "outer"}
+    # children still precede parents, and durations run up to the flush
+    assert flushed["outer"]["dur"] > flushed["inner"]["dur"]
+    # the spans stay open: exiting them records the real events
+    inner.__exit__(None, None, None)
+    outer.__exit__(None, None, None)
+    assert [e["name"] for e in tracer.events] == ["done", "inner", "outer"]
+    assert not any(e.get("unfinished") for e in tracer.events)
+
+
+def test_exporters_include_unfinished_spans(tmp_path):
+    tracer = make_tracer()
+    open_span = tracer.span("still.open")
+    open_span.__enter__()
+    with tracer.span("closed"):
+        pass
+
+    jsonl_path = str(tmp_path / "trace.jsonl")
+    assert tracer.export(jsonl_path) == 2
+    events = read_jsonl(jsonl_path)
+    assert {e["name"]: bool(e.get("unfinished")) for e in events} == {
+        "closed": False, "still.open": True,
+    }
+
+    chrome_path = str(tmp_path / "trace.json")
+    assert tracer.export(chrome_path) == 2
+    chrome_events = read_chrome(chrome_path)
+    unfinished = next(e for e in chrome_events if e["name"] == "still.open")
+    assert unfinished["args"]["unfinished"] is True
+    assert unfinished["ph"] == "X" and unfinished["dur"] > 0
+    open_span.__exit__(None, None, None)
+
+
+def test_fake_clock_makes_durations_and_order_deterministic():
+    """The ``Tracer._clock`` hook pins every ts/dur: two identically
+    shaped traces are equal event for event, no real time involved."""
+    def run():
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            tracer.instant("mark")
+        return tracer.events
+
+    first, second = run(), run()
+    assert first == second
+    # clock ticks: t0=1, outer start=2, inner start=3, inner end=4,
+    # instant=5, outer end=6; events complete innermost first
+    assert [e["name"] for e in first] == ["inner", "mark", "outer"]
+    assert [e["ts"] for e in first] == [2.0, 4.0, 1.0]
+    assert [e["dur"] for e in first] == [1.0, 0.0, 4.0]
+
+
 def test_clear():
     tracer = make_tracer()
     with tracer.span("x"):

@@ -62,6 +62,35 @@ def test_solve_smt2(capsys, tmp_path):
     assert "sat" in out and "'ab'" in out
 
 
+def test_check_profile_writes_collapsed_stacks(capsys, tmp_path):
+    from repro.obs.profile import read_collapsed
+
+    path = tmp_path / "out.folded"
+    status, out = run(
+        capsys, "--ascii", "--profile", str(path), "check",
+        r"(.*a.{8})&(.*b.{8})",
+    )
+    assert status == 0
+    assert "profile: wrote" in out
+    assert "total traced wall" in out  # hotspot table on stdout
+    parsed = read_collapsed(str(path))
+    assert parsed and all(count > 0 for _, count in parsed)
+    names = {frame for stack, _ in parsed for frame in stack}
+    assert "solver.explore" in names
+
+
+def test_trace_and_profile_share_one_tracer(capsys, tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    folded = tmp_path / "out.folded"
+    status, out = run(
+        capsys, "--ascii", "--trace", str(trace), "--profile", str(folded),
+        "check", "a&b",
+    )
+    assert status == 0
+    assert "trace:" in out and "profile:" in out
+    assert trace.exists() and folded.exists()
+
+
 def test_graph_text_and_dot(capsys):
     _, out = run(capsys, "--ascii", "graph", ".*01.*")
     assert "--[" in out
