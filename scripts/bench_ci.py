@@ -52,6 +52,10 @@ def build_parser():
                         help="per-problem fuel budget")
     parser.add_argument("--seconds", type=float, default=None,
                         help="per-problem wall-clock budget")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the evaluation matrix "
+                             "(default 1 = serial; timing gates only fire "
+                             "against snapshots with the same job count)")
     parser.add_argument("--no-profile", action="store_true",
                         help="skip the traced attribution pass")
     parser.add_argument("--time-rel", type=float,
@@ -99,16 +103,25 @@ def main(argv=None):
     def progress(engine, done, total):
         print("  %s: %d/%d" % (engine, done, total), flush=True)
 
+    if args.jobs < 1:
+        print("bench_ci: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
     snapshot = snapshot_mod.collect(
         root, quick=args.quick, stride=args.stride, fuel=args.fuel,
         seconds=args.seconds, with_profile=not args.no_profile,
-        progress=progress,
+        progress=progress, jobs=args.jobs,
     )
     path = snapshot_mod.write_snapshot(snapshot, root)
     print("wrote %s (%d cells, %d problems x %d engines)" % (
         os.path.basename(path), len(snapshot["cells"]),
         snapshot["config"]["problems"], len(snapshot["config"]["engines"]),
     ))
+    timing = snapshot.get("timing")
+    if timing:
+        print("matrix: wall %.2fs, aggregate cpu %.2fs, jobs=%d" % (
+            timing["wall_s"], timing["cpu_s"], args.jobs,
+        ))
     if snapshot.get("profile"):
         prof = snapshot["profile"]
         top = prof["hotspots"][0]["name"] if prof["hotspots"] else "-"

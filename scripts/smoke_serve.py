@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Crash-injection smoke test for the batched solving layer.
+
+Submits a small batch containing two solvable jobs and one job that
+SIGKILLs its worker mid-batch, then asserts the error-result contract:
+the batch completes, results come back in submission order, the killed
+task is a structured ``error`` record (after its bounded retry), and
+the healthy tasks are unaffected. Also checks the CLI ``batch``
+subcommand's exit-code contract on the same inputs.
+
+Run by CI next to the tier-1 suite::
+
+    PYTHONPATH=src python scripts/smoke_serve.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.__main__ import main as cli_main
+from repro.serve import Job, solve_batch
+
+
+def check(condition, message):
+    if not condition:
+        print("smoke_serve: FAIL: %s" % message, file=sys.stderr)
+        sys.exit(1)
+    print("  ok: %s" % message)
+
+
+def smoke_pool():
+    print("pool: 2 solvable jobs + 1 worker-killing job on 2 workers")
+    jobs = [
+        Job("first", "pattern", "a|b"),
+        Job("boom", "crash", "kill"),
+        Job("last", "pattern", "(ab){2,3}"),
+    ]
+    report = solve_batch(jobs, workers=2, fuel=100000, seconds=5.0,
+                         retries=1)
+    check(len(report.results) == 3, "every job produced a result")
+    check([r.name for r in report.results] == ["first", "boom", "last"],
+          "results are in submission order")
+    check(report.results[0].status == "sat"
+          and report.results[2].status == "sat",
+          "healthy tasks are unaffected by the crash")
+    boom = report.results[1]
+    check(boom.status == "error", "killed task became an error record")
+    check(boom.error is not None
+          and boom.error.get("type") == "WorkerCrashed",
+          "error record is structured (type WorkerCrashed)")
+    check(boom.attempts == 2, "crashed task was retried once before failing")
+    check(report.retries == 1, "report counts the retry")
+    print("  " + report.summary_line())
+
+
+def smoke_cli():
+    print("cli: batch exit codes reflect the error record")
+    with tempfile.TemporaryDirectory() as tmp:
+        jobs_path = os.path.join(tmp, "jobs.jsonl")
+        with open(jobs_path, "w", encoding="utf-8") as handle:
+            handle.write('{"name": "p1", "pattern": "a|b"}\n')
+            handle.write('{"name": "boom", "crash": "kill"}\n')
+            handle.write('{"name": "p2", "pattern": "x*y"}\n')
+        out_path = os.path.join(tmp, "results.jsonl")
+        status = cli_main(["batch", jobs_path, "--jobs", "2",
+                           "--output", out_path])
+        check(status == 1, "exit code 1 when a task errored")
+        with open(out_path, "r", encoding="utf-8") as handle:
+            rows = [json.loads(line) for line in handle]
+        check([row["name"] for row in rows] == ["p1", "boom", "p2"],
+              "JSONL output preserves submission order")
+        check(rows[1]["error"]["type"] == "WorkerCrashed",
+              "JSONL output carries the structured error")
+
+        clean_path = os.path.join(tmp, "clean.jsonl")
+        with open(clean_path, "w", encoding="utf-8") as handle:
+            handle.write('{"name": "p1", "pattern": "a|b"}\n')
+        check(cli_main(["batch", clean_path, "--jobs", "2"]) == 0,
+              "exit code 0 on a clean batch")
+
+
+def main():
+    smoke_pool()
+    smoke_cli()
+    print("smoke_serve: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,12 @@ Commands:
 * ``equiv LEFT RIGHT`` — language equivalence, with a distinguishing
   string;
 * ``match PATTERN TEXT`` — full-match and leftmost-search of a text;
-* ``solve FILE.smt2 ...`` — run SMT-LIB scripts;
+* ``solve FILE.smt2 ...`` — run SMT-LIB scripts (``--jobs N`` fans
+  them over a pool of worker processes);
+* ``batch PATH`` — batched solving of a directory of ``.smt2`` files
+  or a ``.jsonl`` job file on a worker pool (``--jobs``, ``--retries``,
+  ``--output results.jsonl``); exit 1 when any task errored, 2 when
+  any came back unknown, 0 otherwise;
 * ``graph PATTERN`` — print the derivative graph (add ``--dot`` for
   Graphviz output).
 
@@ -75,6 +80,24 @@ def build_parser():
 
     solve = sub.add_parser("solve", help="run SMT-LIB scripts")
     solve.add_argument("files", nargs="+")
+    solve.add_argument("--jobs", type=int, default=1,
+                       help="solve the files on N worker processes "
+                            "(default 1 = in-process)")
+
+    batch = sub.add_parser(
+        "batch",
+        help="solve a batch (directory of .smt2 files or a .jsonl job "
+             "file) on a worker pool",
+    )
+    batch.add_argument("path",
+                       help="directory of .smt2 files, a .jsonl job file, "
+                            "or a single .smt2 file")
+    batch.add_argument("--jobs", type=int, default=2,
+                       help="worker processes (default 2)")
+    batch.add_argument("--retries", type=int, default=1,
+                       help="retry budget per crashed task (default 1)")
+    batch.add_argument("--output", metavar="FILE", default=None,
+                       help="write per-task results as JSONL to FILE")
 
     graph = sub.add_parser("graph", help="print the derivative graph")
     graph.add_argument("pattern")
@@ -100,6 +123,30 @@ def _stats_lines(result, obs):
             if value:
                 lines.append("  %s = %s" % (name, value))
     return lines
+
+
+def _task_line(task):
+    """One output line per batch task, in submission order."""
+    line = "%s: %s" % (task.name, task.status)
+    if task.model:
+        line += "  " + " ".join(
+            "%s=%r" % kv for kv in sorted(task.model.items())
+        )
+    elif task.witness is not None:
+        line += "  witness=%r" % task.witness
+    if task.error:
+        line += "  [%s: %s]" % (task.error["type"], task.error["message"])
+    return line
+
+
+def _batch_status(report):
+    """Exit code for batch runs: errors dominate unknowns."""
+    counts = report.counts
+    if counts["error"]:
+        return 1
+    if counts["unknown"]:
+        return 2
+    return 0
 
 
 def main(argv=None):
@@ -154,18 +201,53 @@ def main(argv=None):
             out.append("search: span=%s group=%r" % (found.span(), found.group()))
         status = 0
     elif args.command == "solve":
-        status = 0
-        smt = SmtSolver(builder, RegexSolver(builder, obs=obs))
-        for path in args.files:
-            result = run_file(builder, path, solver=smt, budget=budget())
-            line = "%s: %s" % (path, result.status)
-            if result.model:
-                line += "  " + " ".join(
-                    "%s=%r" % kv for kv in sorted(result.model.items())
-                )
-            out.append(line)
-            if result.is_unknown:
-                status = 2
+        if args.jobs > 1:
+            from repro.serve import jobs_from_files, solve_batch
+
+            report = solve_batch(
+                jobs_from_files(args.files), workers=args.jobs,
+                fuel=args.fuel, seconds=args.seconds,
+                max_char=127 if args.ascii else None,
+            )
+            for task in report.results:
+                out.append(_task_line(task))
+            status = _batch_status(report)
+        else:
+            status = 0
+            smt = SmtSolver(builder, RegexSolver(builder, obs=obs))
+            for path in args.files:
+                result = run_file(builder, path, solver=smt, budget=budget())
+                line = "%s: %s" % (path, result.status)
+                if result.model:
+                    line += "  " + " ".join(
+                        "%s=%r" % kv for kv in sorted(result.model.items())
+                    )
+                out.append(line)
+                if result.is_unknown:
+                    status = 2
+    elif args.command == "batch":
+        from repro.serve import load_jobs, solve_batch
+
+        jobs = load_jobs(args.path)
+        if not jobs:
+            print("batch: no jobs found under %s" % args.path,
+                  file=sys.stderr)
+            return 2
+        report = solve_batch(
+            jobs, workers=args.jobs, fuel=args.fuel, seconds=args.seconds,
+            max_char=127 if args.ascii else None, retries=args.retries,
+        )
+        for task in report.results:
+            out.append(_task_line(task))
+        out.append(report.summary_line())
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                for task in report.results:
+                    handle.write(json.dumps(task.to_dict(), sort_keys=True))
+                    handle.write("\n")
+            out.append("wrote %d results to %s"
+                       % (len(report.results), args.output))
+        status = _batch_status(report)
     elif args.command == "graph":
         regex = parse(builder, args.pattern)
         render = graph_to_dot if args.dot else graph_to_text

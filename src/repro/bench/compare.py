@@ -51,12 +51,22 @@ def compare(prev, cur, time_rel=DEFAULT_TIME_REL, time_abs=DEFAULT_TIME_ABS,
     """
     prev_cells = prev.get("cells", {})
     cur_cells = cur.get("cells", {})
+    # Timing is only comparable like-for-like: a snapshot collected with
+    # a different worker count (--jobs) has different scheduling and
+    # contention, so its wall-clock percentiles say nothing about the
+    # solver.  Correctness metrics (solved, timeout_rate) are still
+    # gated — fuel budgets make those job-count independent.
+    prev_jobs = prev.get("config", {}).get("jobs", 1) or 1
+    cur_jobs = cur.get("config", {}).get("jobs", 1) or 1
+    compare_times = prev_jobs == cur_jobs
     report = {
         "regressions": [],
         "improvements": [],
         "added": sorted(set(cur_cells) - set(prev_cells)),
         "removed": sorted(set(prev_cells) - set(cur_cells)),
         "compared": 0,
+        "time_gated": compare_times,
+        "jobs": {"before": prev_jobs, "after": cur_jobs},
     }
     for name in sorted(set(prev_cells) & set(cur_cells)):
         before, after = prev_cells[name], cur_cells[name]
@@ -79,6 +89,8 @@ def compare(prev, cur, time_rel=DEFAULT_TIME_REL, time_abs=DEFAULT_TIME_ABS,
                        after["timeout_rate"])
             )
 
+        if not compare_times:
+            continue
         for metric in TIME_METRICS:
             old = before.get(metric)
             new = after.get(metric)
@@ -134,6 +146,13 @@ def render_report(report, prev=None, cur=None):
     for kind in ("added", "removed"):
         if report[kind]:
             lines.append("%s cells: %s" % (kind, ", ".join(report[kind])))
+    if not report.get("time_gated", True):
+        jobs = report.get("jobs", {})
+        lines.append(
+            "timing gates skipped: job counts differ (%s -> %s); only "
+            "solved/timeout_rate were compared"
+            % (jobs.get("before", "?"), jobs.get("after", "?"))
+        )
     if not report["regressions"]:
         lines.append("no regressions (rel>%.0f%% and abs>%.3fs gates)"
                      % (DEFAULT_TIME_REL * 100, DEFAULT_TIME_ABS))

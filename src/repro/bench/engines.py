@@ -44,3 +44,19 @@ def default_engines(max_states=20000, max_minterms=2048):
 
 def reference_engine():
     return Engine("sbd", lambda b: RegexSolver(b))
+
+
+def engine_by_name(name, max_states=20000, max_minterms=2048):
+    """Resolve one engine of the default line-up by name.
+
+    Batch workers receive engines as names (an :class:`Engine` holds a
+    closure and does not cross process boundaries) and rebuild them
+    locally through this registry.
+    """
+    for engine in default_engines(max_states, max_minterms):
+        if engine.name == name:
+            return engine
+    raise KeyError(
+        "unknown engine %r (expected one of: %s)"
+        % (name, ", ".join(e.name for e in default_engines()))
+    )

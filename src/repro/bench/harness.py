@@ -82,6 +82,32 @@ def _capture_stats(result, solver):
     return stats
 
 
+def record_outcome(result, solver, expected, formula=None):
+    """Classify one solver result against its expected label.
+
+    Returns ``(status, outcome, stats)`` with the paper's methodology:
+    unknowns are "timeout", wrong answers are "timeout"-equivalent, and
+    sat models are validated against the formula when available.
+    Shared between the serial :func:`run_problem` path and the batch
+    worker's ``bench`` task executor.
+    """
+    status = result.status
+    stats = _capture_stats(result, solver)
+    if status == "unknown":
+        return status, "timeout", stats
+    if expected is None:
+        outcome = "unchecked"
+    elif status == expected:
+        outcome = "correct"
+    else:
+        outcome = "wrong"
+    if (status == "sat" and result.model is not None and outcome != "wrong"
+            and formula is not None):
+        if not solver.check_model(formula, result.model):
+            outcome = "wrong"
+    return status, outcome, stats
+
+
 def run_problem(engine, builder, problem, fuel=200000, seconds=2.0):
     """Run one problem under a fresh solver with a fixed budget."""
     solver = engine.fresh_solver(builder)
@@ -92,36 +118,37 @@ def run_problem(engine, builder, problem, fuel=200000, seconds=2.0):
     except Exception:  # a crash counts as a timeout, like the paper
         return Record(problem, engine.name, "error", seconds, "timeout")
     elapsed = time.perf_counter() - started
-    status = result.status
-    stats = _capture_stats(result, solver)
-    if status == "unknown":
-        return Record(problem, engine.name, status, seconds, "timeout", stats)
-    if problem.expected is None:
-        outcome = "unchecked"
-    elif status == problem.expected:
-        outcome = "correct"
-    else:
-        outcome = "wrong"
-    if status == "sat" and result.model is not None and outcome != "wrong":
-        if not solver.check_model(problem.formula, result.model):
-            outcome = "wrong"
-    if outcome == "wrong":
+    status, outcome, stats = record_outcome(
+        result, solver, problem.expected, formula=problem.formula
+    )
+    if outcome in ("timeout", "wrong"):
         # wrong answers are treated as timeouts in the comparison
-        return Record(problem, engine.name, status, seconds, "wrong", stats)
+        return Record(problem, engine.name, status, seconds, outcome, stats)
     return Record(
         problem, engine.name, status, min(elapsed, seconds), outcome, stats
     )
 
 
 def run_matrix(engines, problems, builder, fuel=200000, seconds=2.0,
-               progress=None):
+               progress=None, jobs=1):
     """Run every engine on every problem; returns a list of records.
 
     ``builder`` must be the builder the problems were generated with
     (regexes are interned per builder and cannot be mixed across
     builders).  Each engine still gets a fresh solver per problem, so
     no engine carries state between instances.
+
+    ``jobs > 1`` fans the (engine, problem) matrix across that many
+    worker processes via :mod:`repro.serve`; fuel budgets make the
+    verdicts identical to the serial run.  Parallel mode requires
+    engines resolvable by name through
+    :func:`repro.bench.engines.engine_by_name`.
     """
+    if jobs and jobs > 1:
+        return run_matrix_parallel(
+            engines, problems, builder, fuel=fuel, seconds=seconds,
+            progress=progress, jobs=jobs,
+        )
     records = []
     for engine in engines:
         for i, problem in enumerate(problems):
@@ -130,6 +157,65 @@ def run_matrix(engines, problems, builder, fuel=200000, seconds=2.0,
             )
             if progress is not None and (i + 1) % 50 == 0:
                 progress(engine.name, i + 1, len(problems))
+    return records
+
+
+def run_matrix_parallel(engines, problems, builder, fuel=200000, seconds=2.0,
+                        progress=None, jobs=2):
+    """The batched evaluation matrix: one ``bench`` job per (engine,
+    problem) cell, solved on a :class:`repro.serve.WorkerPool`.
+
+    Problems travel as SMT-LIB text and are re-parsed against each
+    worker's own builder; pool-level failures (a crashed or reaped
+    worker) surface as error Records with the full budget charged,
+    mirroring the serial path's crash-counts-as-timeout rule.
+    """
+    from repro.bench.engines import engine_by_name
+    from repro.serve import Job, solve_batch
+    from repro.smtlib.writer import script_text
+
+    for engine in engines:
+        engine_by_name(engine.name)  # fail fast on unregistered engines
+
+    texts = [
+        script_text(p.formula, builder.algebra, status=p.expected)
+        for p in problems
+    ]
+    batch = []
+    cells = []
+    for engine in engines:
+        for problem, text in zip(problems, texts):
+            batch.append(Job(
+                "%s/%s" % (engine.name, problem.name), "bench",
+                {"engine": engine.name, "smt2": text},
+                expected=problem.expected,
+            ))
+            cells.append((engine.name, problem))
+
+    def pool_progress(done, _total):
+        if progress is not None and done % 50 == 0:
+            progress("pool", done, len(batch))
+
+    report = solve_batch(
+        batch, workers=jobs, fuel=fuel, seconds=seconds,
+        progress=pool_progress,
+    )
+    records = []
+    for result, (engine_name, problem) in zip(report.results, cells):
+        if result.outcome is not None:
+            records.append(Record(
+                problem, engine_name, result.status,
+                result.elapsed if result.outcome not in ("timeout", "wrong")
+                else seconds,
+                result.outcome, result.stats,
+            ))
+        else:
+            # pool-synthesized verdict (crashed/reaped worker): charge
+            # the full budget, keep the structured error in the stats
+            records.append(Record(
+                problem, engine_name, "error", seconds, "timeout",
+                {"error": result.error} if result.error else {},
+            ))
     return records
 
 

@@ -200,9 +200,9 @@ def write_snapshot(snapshot, root):
 
 
 def build_snapshot(records, budget_seconds, config, root, seq=None,
-                   profile=None):
+                   profile=None, timing=None):
     """Assemble the snapshot dict (no I/O beyond git provenance)."""
-    return {
+    snapshot = {
         "schema": SCHEMA_VERSION,
         "seq": seq if seq is not None else next_seq(root),
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -212,6 +212,9 @@ def build_snapshot(records, budget_seconds, config, root, seq=None,
         "cells": aggregate_cells(records, budget_seconds),
         "profile": profile,
     }
+    if timing is not None:
+        snapshot["timing"] = dict(timing)
+    return snapshot
 
 
 # -- collection ---------------------------------------------------------------
@@ -247,12 +250,18 @@ def profile_pass(problems, builder, fuel, seconds, max_problems=PROFILE_PROBLEMS
 
 
 def collect(root, quick=False, stride=None, fuel=None, seconds=None,
-            with_profile=True, seq=None, progress=None):
+            with_profile=True, seq=None, progress=None, jobs=1):
     """Run the evaluation matrix and assemble (not write) a snapshot.
 
     ``quick`` selects the CI-sized tier (per-suite subsampling and a
     smaller budget); explicit ``stride``/``fuel``/``seconds`` override
-    either tier.
+    either tier.  ``jobs > 1`` fans the matrix over that many worker
+    processes (see :func:`repro.bench.harness.run_matrix_parallel`);
+    verdicts stay identical because budgets are fuel-deterministic, but
+    wall time is no longer comparable across differing job counts — the
+    snapshot records both the batch wall time and the aggregate
+    per-problem CPU time under ``"timing"``, plus ``config["jobs"]``
+    so the regression gate can insist on like-for-like comparisons.
     """
     tier = QUICK_TIER if quick else FULL_TIER
     stride = tier["stride"] if stride is None else stride
@@ -263,10 +272,15 @@ def collect(root, quick=False, stride=None, fuel=None, seconds=None,
     problems = subsample(all_suites(builder), stride)
     label_problems(builder, problems)
     engines = default_engines()
+    matrix_started = time.perf_counter()
     records = run_matrix(
         engines, problems, builder, fuel=fuel, seconds=seconds,
-        progress=progress,
+        progress=progress, jobs=jobs,
     )
+    timing = {
+        "wall_s": time.perf_counter() - matrix_started,
+        "cpu_s": sum(r.seconds for r in records),
+    }
     profile = None
     if with_profile:
         events = profile_pass(problems, builder, fuel, seconds)
@@ -276,9 +290,11 @@ def collect(root, quick=False, stride=None, fuel=None, seconds=None,
         "stride": stride,
         "fuel": fuel,
         "seconds": seconds,
+        "jobs": jobs,
         "engines": [e.name for e in engines],
         "problems": len(problems),
     }
     return build_snapshot(
         records, seconds, config, root, seq=seq, profile=profile,
+        timing=timing,
     )

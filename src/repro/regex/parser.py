@@ -18,9 +18,23 @@ Precedence (loosest to tightest): ``|``, ``&``, ``~``, concatenation,
 quantifiers.
 """
 
+import sys
+
 from repro.alphabet.charclass import ESCAPE_CLASSES, case_fold
 from repro.errors import RegexSyntaxError
 from repro.regex.ast import INF
+
+#: Recursion-limit ceiling while parsing.  The recursive descent costs
+#: about seven Python frames per nesting level, so this supports
+#: patterns nested a few tens of thousands deep; anything needing more
+#: is rejected with a typed "nesting too deep" error instead of being
+#: allowed to exhaust memory on stack frames.
+_MAX_RECURSION_LIMIT = 200000
+
+#: Frames budgeted per pattern character (a gross overestimate of the
+#: worst case, one group per character) plus slack for the caller.
+_FRAMES_PER_CHAR = 8
+_FRAME_SLACK = 1000
 
 _SIMPLE_ESCAPES = {
     "n": 0x0A, "r": 0x0D, "t": 0x09, "f": 0x0C, "v": 0x0B,
@@ -258,5 +272,28 @@ class _Parser:
 
 
 def parse(builder, pattern):
-    """Parse ``pattern`` into a hash-consed regex owned by ``builder``."""
-    return _Parser(builder, pattern).parse()
+    """Parse ``pattern`` into a hash-consed regex owned by ``builder``.
+
+    Deeply nested groups are supported by temporarily raising the
+    interpreter recursion limit to match the pattern length; nesting
+    beyond :data:`_MAX_RECURSION_LIMIT` frames raises a
+    :class:`~repro.errors.RegexSyntaxError` ("nesting too deep") rather
+    than letting :class:`RecursionError` escape to the caller.
+    """
+    parser = _Parser(builder, pattern)
+    old_limit = sys.getrecursionlimit()
+    needed = min(
+        _FRAME_SLACK + _FRAMES_PER_CHAR * len(pattern), _MAX_RECURSION_LIMIT
+    )
+    raised = needed > old_limit
+    if raised:
+        sys.setrecursionlimit(needed)
+    try:
+        return parser.parse()
+    except RecursionError:
+        raise RegexSyntaxError(
+            "nesting too deep", text=pattern, position=parser.pos
+        ) from None
+    finally:
+        if raised:
+            sys.setrecursionlimit(old_limit)

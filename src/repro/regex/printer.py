@@ -13,7 +13,11 @@ from repro.regex.ast import (
 _PREC_UNION = 1
 _PREC_INTER = 2
 _PREC_CONCAT = 3
-_PREC_ATOM = 4
+# a quantified expression: usable as a concat part, but needs parens
+# to be quantified again ("(a{1,2})?" — a bare "a{1,2}?" would re-parse
+# the "?" as the ignored lazy-quantifier marker)
+_PREC_QUANT = 4
+_PREC_ATOM = 5
 
 _CLASS_ESCAPES = {
     ord("\n"): "\\n", ord("\r"): "\\r", ord("\t"): "\\t",
@@ -127,7 +131,7 @@ def to_pattern(regex, algebra=None):
                 suffix = "{%d}" % lo
             else:
                 suffix = "{%d,%d}" % (lo, hi)
-            return body + suffix, _PREC_ATOM
+            return body + suffix, _PREC_QUANT
         raise AssertionError("unknown node kind %r" % node.kind)
 
     text, _ = go(regex)

@@ -1,0 +1,331 @@
+"""The worker pool: sharded dispatch, crash isolation, aggregation.
+
+Design notes
+------------
+
+* **Depth-one dispatch.**  Each worker holds at most one in-flight
+  task, so the pool always knows exactly which task a dead or wedged
+  worker was running — crash attribution needs no guesswork.
+* **Per-worker queues.**  Every worker gets its own task *and* result
+  queue.  A SIGKILLed worker can die mid-``put``, leaving a partial
+  pickle in its result pipe; with per-worker queues that corruption is
+  confined to the dead worker's (discarded) queue instead of breaking
+  the whole pool, which is how ``ProcessPoolExecutor`` ends up in
+  ``BrokenProcessPool``.
+* **Deterministic budgets.**  Tasks carry fuel budgets through the
+  pool untouched, so a batch run returns the same verdicts as a serial
+  run regardless of worker count; only wall time changes.
+* **Reaping.**  A worker past its deadline (task wall budget plus
+  ``reap_grace``) is killed and its task recorded as a structured
+  ``unknown``; a worker that died on its own is recorded as ``error``
+  and the task retried on a fresh worker up to ``retries`` times.
+"""
+
+import itertools
+import queue as queue_mod
+import time
+from collections import deque
+from multiprocessing import get_context
+
+from repro.serve.report import BatchReport, TaskResult
+from repro.serve.worker import worker_main
+
+#: Extra wall seconds past a task's own budget before its worker is
+#: declared wedged and reaped.
+DEFAULT_REAP_GRACE = 10.0
+
+#: Idle sleep between sweeps when no worker produced a message.
+_POLL_SLEEP = 0.02
+
+#: Abort threshold for workers that die before taking any task (e.g.
+#: an import failure on spawn) — prevents an infinite respawn loop.
+_MAX_IDLE_DEATHS = 8
+
+
+class _Worker:
+    __slots__ = ("id", "proc", "task_q", "result_q", "task", "deadline")
+
+    def __init__(self, id, proc, task_q, result_q):
+        self.id = id
+        self.proc = proc
+        self.task_q = task_q
+        self.result_q = result_q
+        self.task = None        # the in-flight task dict, if any
+        self.deadline = None
+
+
+class WorkerPool:
+    """Fans a list of :class:`~repro.serve.jobs.Job` across worker
+    processes; :meth:`run` returns a :class:`BatchReport`."""
+
+    def __init__(self, workers=2, fuel=None, seconds=None, max_char=None,
+                 retries=1, reap_grace=DEFAULT_REAP_GRACE,
+                 start_method=None, progress=None):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self.retries = retries
+        self.reap_grace = reap_grace
+        self.progress = progress
+        self._config = {"fuel": fuel, "seconds": seconds, "max_char": max_char}
+        if start_method is None:
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else None
+        self._ctx = get_context(start_method)
+        self._ids = itertools.count()
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _spawn(self):
+        task_q = self._ctx.SimpleQueue()
+        result_q = self._ctx.Queue()
+        worker_id = "w%d" % next(self._ids)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, task_q, result_q, self._config),
+            name="repro-serve-%s" % worker_id,
+            daemon=True,
+        )
+        proc.start()
+        return _Worker(worker_id, proc, task_q, result_q)
+
+    def _discard(self, worker):
+        """Reap a dead/killed worker's process and queues."""
+        if worker.proc.is_alive():
+            worker.proc.kill()
+        worker.proc.join(timeout=5.0)
+        worker.result_q.close()
+        worker.result_q.cancel_join_thread()
+
+    def _task_deadline(self):
+        seconds = self._config.get("seconds")
+        if seconds is None:
+            return None
+        return time.monotonic() + seconds + self.reap_grace
+
+    # -- the batch loop ------------------------------------------------------
+
+    def run(self, jobs):
+        jobs = list(jobs)
+        started = time.perf_counter()
+        total = len(jobs)
+        pending = deque(job.to_task(i) for i, job in enumerate(jobs))
+        state = {
+            "results": {}, "retries": 0, "worker_metrics": [],
+            "stats_seen": 0,
+        }
+        fleet = [self._spawn() for _ in range(min(self.workers, max(total, 1)))]
+        idle_deaths = 0
+        try:
+            while len(state["results"]) < total:
+                progressed = False
+                for worker in fleet:
+                    if worker.task is None and pending:
+                        task = pending.popleft()
+                        worker.task = task
+                        worker.deadline = self._task_deadline()
+                        worker.task_q.put(task)
+                    progressed |= self._pump(worker, state)
+                if progressed:
+                    continue
+                new_fleet = []
+                broken = False
+                for worker in fleet:
+                    outcome = self._check_health(worker, pending, state)
+                    if outcome is None:
+                        new_fleet.append(worker)
+                    elif outcome is worker:
+                        # idle death (already discarded): respawn unless
+                        # workers keep dying before taking any task
+                        idle_deaths += 1
+                        if idle_deaths > _MAX_IDLE_DEATHS:
+                            broken = True
+                        else:
+                            new_fleet.append(self._spawn())
+                    else:
+                        new_fleet.append(outcome)
+                fleet = new_fleet
+                if broken or not fleet:
+                    self._fail_remaining(pending, fleet, state)
+                if len(state["results"]) < total:
+                    time.sleep(_POLL_SLEEP)
+        finally:
+            worker_metrics = self._shutdown(fleet, state)
+        wall = time.perf_counter() - started
+        results = [state["results"][i] for i in sorted(state["results"])]
+        return BatchReport(
+            results, wall, self.workers, retries=state["retries"],
+            worker_metrics=worker_metrics,
+        )
+
+    def _pump(self, worker, state):
+        """Drain one worker's result queue; True if anything arrived."""
+        progressed = False
+        while True:
+            try:
+                msg = worker.result_q.get_nowait()
+            except queue_mod.Empty:
+                return progressed
+            except Exception:
+                # partial pickle from a dying worker; the health check
+                # will pick the body up
+                return progressed
+            progressed = True
+            self._handle(worker, msg, state)
+
+    def _handle(self, worker, msg, state):
+        kind = msg.get("type")
+        if kind == "result":
+            index = msg["index"]
+            if index in state["results"]:
+                return  # late duplicate after a pool-synthesized verdict
+            state["results"][index] = TaskResult(
+                index, msg.get("name"), msg.get("status", "error"),
+                witness=msg.get("witness"), model=msg.get("model"),
+                reason=msg.get("reason"), error=msg.get("error"),
+                elapsed=msg.get("elapsed", 0.0), worker=msg.get("worker"),
+                attempts=msg.get("attempts", 1), stats=msg.get("stats"),
+                outcome=msg.get("outcome"),
+            )
+            if worker.task is not None and worker.task["index"] == index:
+                worker.task = None
+                worker.deadline = None
+            if self.progress is not None:
+                self.progress(len(state["results"]), None)
+        elif kind == "stats":
+            state["worker_metrics"].append(msg.get("metrics") or {})
+            state["stats_seen"] += 1
+
+    def _check_health(self, worker, pending, state):
+        """Detect crashed or wedged workers.
+
+        Returns None when the worker is healthy, a fresh replacement
+        worker after a crash/reap, or ``worker`` itself to signal an
+        idle death (counted toward the respawn abort threshold).
+        """
+        alive = worker.proc.is_alive()
+        if worker.task is None:
+            if alive:
+                return None
+            self._discard(worker)
+            return worker  # idle death: caller counts and respawns
+        now = time.monotonic()
+        if alive and (worker.deadline is None or now < worker.deadline):
+            return None
+        if alive:
+            # wedged: kill it, then drain any result that raced the kill
+            worker.proc.kill()
+            worker.proc.join(timeout=5.0)
+            self._pump(worker, state)
+            task = worker.task
+            if task is not None and task["index"] not in state["results"]:
+                budget = self._config.get("seconds")
+                state["results"][task["index"]] = TaskResult(
+                    task["index"], task["name"], "unknown",
+                    reason="worker reaped",
+                    error={
+                        "type": "WorkerTimeout",
+                        "message": "worker %s reaped after exceeding the "
+                                   "%.1fs task budget by %.1fs grace"
+                                   % (worker.id, budget or 0.0,
+                                      self.reap_grace),
+                    },
+                    elapsed=budget or 0.0, worker=worker.id,
+                    attempts=task["attempts"] + 1,
+                )
+                if self.progress is not None:
+                    self.progress(len(state["results"]), None)
+        else:
+            # crashed mid-task: maybe its result is already in the pipe
+            self._pump(worker, state)
+            task = worker.task
+            if task is not None and task["index"] not in state["results"]:
+                if task["attempts"] < self.retries:
+                    task["attempts"] += 1
+                    state["retries"] += 1
+                    pending.appendleft(task)
+                else:
+                    state["results"][task["index"]] = TaskResult(
+                        task["index"], task["name"], "error",
+                        reason="worker crashed",
+                        error={
+                            "type": "WorkerCrashed",
+                            "message": "worker %s exited with code %s while "
+                                       "running this task (attempt %d)"
+                                       % (worker.id, worker.proc.exitcode,
+                                          task["attempts"] + 1),
+                        },
+                        worker=worker.id, attempts=task["attempts"] + 1,
+                    )
+                    if self.progress is not None:
+                        self.progress(len(state["results"]), None)
+        self._discard(worker)
+        return self._spawn()
+
+    def _fail_remaining(self, pending, fleet, state):
+        """Workers keep dying before taking any task — fail what's left
+        with structured errors rather than looping forever."""
+        leftovers = list(pending)
+        pending.clear()
+        for worker in fleet:
+            if worker.task is not None:
+                leftovers.append(worker.task)
+                worker.task = None
+        for task in leftovers:
+            if task["index"] not in state["results"]:
+                state["results"][task["index"]] = TaskResult(
+                    task["index"], task["name"], "error",
+                    reason="worker pool broken",
+                    error={
+                        "type": "WorkerPoolBroken",
+                        "message": "workers kept dying before accepting "
+                                   "tasks; batch aborted",
+                    },
+                    attempts=task["attempts"],
+                )
+
+    def _shutdown(self, fleet, state):
+        """Stop the fleet and collect the final metric snapshots of
+        every worker that can still produce one."""
+        expected = 0
+        for worker in fleet:
+            if worker.proc.is_alive():
+                try:
+                    worker.task_q.put(None)
+                    expected += 1
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+        deadline = time.monotonic() + 5.0
+        while state["stats_seen"] < expected and time.monotonic() < deadline:
+            progressed = False
+            for worker in fleet:
+                progressed |= self._pump(worker, state)
+            if not progressed:
+                if all(not w.proc.is_alive() for w in fleet):
+                    for worker in fleet:
+                        self._pump(worker, state)
+                    break
+                time.sleep(_POLL_SLEEP)
+        for worker in fleet:
+            self._discard(worker)
+        return state["worker_metrics"]
+
+
+def solve_batch(jobs, workers=2, fuel=None, seconds=None, max_char=None,
+                retries=1, reap_grace=DEFAULT_REAP_GRACE, start_method=None,
+                progress=None):
+    """Solve ``jobs`` on a pool of ``workers`` processes.
+
+    Returns a :class:`~repro.serve.report.BatchReport` with one
+    order-stable result per job; no input — however pathological — can
+    abort the batch (crashes and hangs become structured ``error`` /
+    ``unknown`` records).
+    """
+    pool = WorkerPool(
+        workers=workers, fuel=fuel, seconds=seconds, max_char=max_char,
+        retries=retries, reap_grace=reap_grace, start_method=start_method,
+        progress=progress,
+    )
+    return pool.run(jobs)

@@ -1,0 +1,175 @@
+"""The batch worker: one process, one solver stack, many tasks.
+
+Each worker owns a private :class:`~repro.regex.builder.RegexBuilder`,
+a persistent :class:`~repro.solver.engine.RegexSolver` (whose graph
+``G`` and derivative memos accumulate across the worker's tasks, the
+same way a long-lived solver process would warm up), and an
+:class:`~repro.solver.smt.SmtSolver` on top.  ``bench`` tasks instead
+build a fresh solver of the named benchmark engine per task, mirroring
+:func:`repro.bench.harness.run_problem`.
+
+Every task produces exactly one result message; *any* exception during
+solving is mapped to a structured ``error`` result — the worker loop
+itself must only die if its process is killed (which the pool treats
+as a crash and isolates to the task that was running).
+"""
+
+import os
+import signal
+import time
+
+from repro.alphabet import IntervalAlgebra
+from repro.errors import ReproError
+from repro.obs import Observability
+from repro.regex import RegexBuilder, parse
+from repro.solver.engine import RegexSolver
+from repro.solver.result import Budget, error_info
+from repro.solver.smt import SmtSolver
+
+
+class WorkerState:
+    """The per-process solver stack (built once, reused per task)."""
+
+    def __init__(self, config):
+        max_char = config.get("max_char")
+        algebra = (
+            IntervalAlgebra(max_char) if max_char else IntervalAlgebra()
+        )
+        self.config = config
+        self.builder = RegexBuilder(algebra)
+        self.obs = Observability()
+        self.regex_solver = RegexSolver(self.builder, obs=self.obs)
+        self.smt_solver = SmtSolver(self.builder, self.regex_solver)
+        self.tasks_done = 0
+
+    def budget(self):
+        return Budget(
+            fuel=self.config.get("fuel"), seconds=self.config.get("seconds")
+        )
+
+
+def _result_stats(result):
+    stats = result.stats
+    return stats.to_dict() if hasattr(stats, "to_dict") else dict(stats)
+
+
+def _solve_smt2(state, task):
+    from repro.smtlib.interp import run_script
+
+    result = run_script(
+        state.builder, task["payload"], solver=state.smt_solver,
+        budget=state.budget(),
+    )
+    return {
+        "status": result.status,
+        "model": result.model,
+        "reason": result.reason,
+        "error": result.error,
+        "stats": _result_stats(result),
+    }
+
+
+def _solve_pattern(state, task):
+    regex = parse(state.builder, task["payload"])
+    result = state.regex_solver.is_satisfiable(regex, state.budget())
+    return {
+        "status": result.status,
+        "witness": result.witness,
+        "reason": result.reason,
+        "error": result.error,
+        "stats": _result_stats(result),
+    }
+
+
+def _solve_bench(state, task):
+    """One (engine, problem) benchmark cell, with the exact outcome
+    semantics of :func:`repro.bench.harness.run_problem` (wrong answers
+    and unknowns are "timeout", sat models are validated)."""
+    from repro.bench.engines import engine_by_name
+    from repro.bench.harness import record_outcome
+    from repro.smtlib.parser import parse_script
+
+    payload = task["payload"]
+    engine = engine_by_name(payload["engine"])
+    solver = engine.fresh_solver(state.builder)
+    seconds = state.config.get("seconds")
+    script = parse_script(state.builder, payload["smt2"])
+    started = time.perf_counter()
+    result = solver.solve(script.formula, budget=state.budget())
+    elapsed = time.perf_counter() - started
+    status, outcome, stats = record_outcome(
+        result, solver, task.get("expected"), formula=script.formula
+    )
+    if seconds is not None:
+        elapsed = min(elapsed, seconds)
+    return {
+        "status": status,
+        "outcome": outcome,
+        "reason": result.reason,
+        "error": result.error,
+        "stats": stats,
+        "bench_elapsed": elapsed,
+    }
+
+
+def _crash(state, task):
+    mode = task["payload"]
+    if mode == "kill":
+        # simulate a hard crash (segfault-style): no cleanup, no result
+        os.kill(os.getpid(), signal.SIGKILL)
+    if mode == "hang":
+        # simulate a wedged worker; the pool must reap us
+        while True:  # pragma: no cover - killed externally
+            time.sleep(3600)
+    raise ValueError("unknown crash mode %r" % (mode,))
+
+
+_EXECUTORS = {
+    "smt2": _solve_smt2,
+    "pattern": _solve_pattern,
+    "bench": _solve_bench,
+    "crash": _crash,
+}
+
+
+def execute_task(state, task):
+    """Run one task dict; always returns a result payload dict."""
+    started = time.perf_counter()
+    try:
+        out = _EXECUTORS[task["kind"]](state, task)
+    except ReproError as exc:
+        # typed library errors: bad syntax, unsupported constructs, ...
+        out = {"status": "error", "error": error_info(exc)}
+    except (RecursionError, MemoryError) as exc:
+        # solver entry points map these already; this is the backstop
+        # for overflow outside them (e.g. while parsing the payload)
+        out = {"status": "error", "error": error_info(exc)}
+    except Exception as exc:
+        out = {"status": "error", "error": error_info(exc)}
+    out["elapsed"] = out.pop("bench_elapsed", time.perf_counter() - started)
+    return out
+
+
+def worker_main(worker_id, task_q, result_q, config):
+    """Process entry point: pull tasks until the ``None`` sentinel."""
+    state = WorkerState(config)
+    while True:
+        task = task_q.get()
+        if task is None:
+            break
+        out = execute_task(state, task)
+        out.update({
+            "type": "result",
+            "index": task["index"],
+            "name": task["name"],
+            "worker": worker_id,
+            "attempts": task["attempts"] + 1,
+        })
+        state.tasks_done += 1
+        result_q.put(out)
+    result_q.put({
+        "type": "stats",
+        "worker": worker_id,
+        "tasks": state.tasks_done,
+        "metrics": state.obs.metrics.snapshot(),
+    })

@@ -17,7 +17,8 @@ from repro.errors import BudgetExceeded
 from repro.obs import Observability
 from repro.solver.graph import RegexGraph
 from repro.solver.result import (
-    Budget, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT,
+    Budget, RESOURCE_ERRORS, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT,
+    error_info,
 )
 
 
@@ -77,14 +78,29 @@ class RegexSolver:
         budget = budget or Budget()
         self._c_queries.inc()
         mark = self._mark(budget)
-        # the budget exception propagates *through* the span so the
-        # tracer records args["error"] = "BudgetExceeded" on it
+        # exceptions propagate *through* the span so the tracer records
+        # args["error"] (= "BudgetExceeded", "RecursionError", ...) on it
         try:
             with self._tracer.span("solver.explore", strategy=self.strategy):
                 witness = self._explore(regex, budget)
         except BudgetExceeded as exc:
             return SolverResult(
                 UNKNOWN, reason=str(exc), stats=self._stats(mark, budget)
+            )
+        except RESOURCE_ERRORS as exc:
+            # pathological inputs (deeply nested regexes above all) can
+            # blow the interpreter stack mid-derivative; answer a typed
+            # unknown so one bad query can never abort a batch
+            try:
+                stats = self._stats(mark, budget)
+            except Exception:
+                stats = None
+            return SolverResult(
+                UNKNOWN,
+                reason="%s during derivative exploration"
+                       % type(exc).__name__,
+                error=error_info(exc),
+                stats=stats,
             )
         if witness is None:
             return SolverResult(UNSAT, stats=self._stats(mark, budget))

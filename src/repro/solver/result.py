@@ -8,6 +8,19 @@ SAT = "sat"
 UNSAT = "unsat"
 UNKNOWN = "unknown"
 
+#: Engine failures that must be mapped to a structured ``unknown``
+#: result instead of propagating: runaway recursion on pathologically
+#: nested inputs, and allocation failure during exploration.
+RESOURCE_ERRORS = (RecursionError, MemoryError)
+
+
+def error_info(exc):
+    """The structured ``SolverResult.error`` payload for an exception."""
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc) or type(exc).__name__,
+    }
+
 
 class Budget:
     """A deterministic fuel counter plus an optional wall-clock limit.
@@ -133,16 +146,26 @@ class SolverStats:
 
 
 class SolverResult:
-    """Outcome of a satisfiability-style query."""
+    """Outcome of a satisfiability-style query.
 
-    __slots__ = ("status", "witness", "model", "stats", "reason")
+    ``error`` is populated when the query was answered ``unknown``
+    because of a mapped engine failure (resource exhaustion such as
+    :class:`RecursionError` / :class:`MemoryError`, or a reaped batch
+    worker): a dict with at least ``"type"`` and ``"message"`` keys.
+    Callers — batch workers above all — therefore always see a typed
+    result, never a propagating interpreter error.
+    """
 
-    def __init__(self, status, witness=None, model=None, stats=None, reason=None):
+    __slots__ = ("status", "witness", "model", "stats", "reason", "error")
+
+    def __init__(self, status, witness=None, model=None, stats=None,
+                 reason=None, error=None):
         self.status = status
         self.witness = witness
         self.model = model
         self.stats = stats if stats is not None else {}
         self.reason = reason
+        self.error = error
 
     @property
     def is_sat(self):
@@ -171,6 +194,8 @@ class SolverResult:
         }
         if self.model is not None:
             out["model"] = dict(self.model)
+        if self.error is not None:
+            out["error"] = dict(self.error)
         return out
 
     def __repr__(self):
@@ -179,4 +204,6 @@ class SolverResult:
             extra = ", witness=%r" % (self.witness,)
         if self.reason is not None:
             extra += ", reason=%r" % (self.reason,)
+        if self.error is not None:
+            extra += ", error=%r" % (self.error,)
         return "SolverResult(%s%s)" % (self.status, extra)

@@ -18,7 +18,9 @@ from repro.errors import BudgetExceeded, UnsupportedError
 from repro.obs import NULL_OBS
 from repro.solver import formula as F
 from repro.solver.engine import RegexSolver
-from repro.solver.result import Budget, SAT, SolverResult, UNKNOWN, UNSAT
+from repro.solver.result import (
+    Budget, RESOURCE_ERRORS, SAT, SolverResult, UNKNOWN, UNSAT, error_info,
+)
 
 
 class SmtSolver:
@@ -65,12 +67,25 @@ class SmtSolver:
             return SolverResult(
                 UNKNOWN, reason=str(exc), stats={"case_splits": case_splits}
             )
+        except RESOURCE_ERRORS as exc:
+            # NNF/DNF expansion or regex construction on pathologically
+            # nested formulas can exhaust the stack before the regex
+            # engine's own guard sees it; map it the same way
+            return SolverResult(
+                UNKNOWN,
+                reason="%s during solving" % type(exc).__name__,
+                error=error_info(exc),
+                stats={"case_splits": case_splits},
+            )
         if saw_unknown:
             return SolverResult(
                 UNKNOWN, reason=unknown_reason or "incomplete branch",
                 stats={"case_splits": case_splits},
             )
         return SolverResult(UNSAT, stats={"case_splits": case_splits})
+
+    #: SMT-LIB-flavoured alias for :meth:`solve` (``check-sat``).
+    check = solve
 
     def _solve_conjunct(self, literals, budget):
         """One DNF branch.  Returns a model dict, False (branch unsat),

@@ -179,3 +179,21 @@ def test_bench_ci_compare_only_bad_file_exits_two(tmp_path, capsys):
 def test_bench_ci_rejects_bad_root(capsys):
     module = bench_ci()
     assert module.main(["--root", "/nonexistent/dir/xyz"]) == 2
+
+
+def test_timing_gates_skipped_when_job_counts_differ():
+    """Wall-clock percentiles from runs with different worker counts
+    are not comparable; only correctness metrics may gate."""
+    before = snap(1, {"sbd/kaluza": cell()})
+    before["config"] = {"jobs": 1}
+    after = snap(2, {"sbd/kaluza": cell(median_s=0.9, p90_s=1.8)})
+    after["config"] = {"jobs": 2}
+    report = compare(before, after)
+    assert not has_regressions(report)
+    assert report["time_gated"] is False
+    assert "timing gates skipped" in render_report(report)
+
+    # solved drops still gate across differing job counts
+    after["cells"]["sbd/kaluza"]["solved"] = 30
+    report = compare(before, after)
+    assert has_regressions(report)

@@ -110,3 +110,24 @@ def test_cumulative_sorted(builder, problems):
 def test_figure_4c_table(builder):
     text = figure_4c_table(suite_inventory(builder))
     assert "blowup" in text and "total" in text
+
+
+def test_run_matrix_jobs_matches_serial(builder, problems):
+    """The acceptance property: fanning the matrix over worker
+    processes must not change any verdict or outcome."""
+    engines = default_engines()[:2]
+    serial = run_matrix(engines, problems, builder, fuel=50000, seconds=5.0)
+    par = run_matrix(engines, problems, builder, fuel=50000, seconds=5.0,
+                     jobs=2)
+    assert len(par) == len(serial)
+    for s, p in zip(serial, par):
+        assert (p.engine, p.problem.name) == (s.engine, s.problem.name)
+        assert (p.status, p.outcome) == (s.status, s.outcome)
+
+
+def test_run_matrix_parallel_rejects_unknown_engine(builder, problems):
+    from repro.bench.harness import Engine
+
+    bogus = Engine("no-such-engine", lambda b: None)
+    with pytest.raises(KeyError, match="no-such-engine"):
+        run_matrix([bogus], problems, builder, fuel=1000, seconds=1.0, jobs=2)

@@ -1,0 +1,69 @@
+"""Regression tests: deeply nested groups must never escape as an
+uncaught :class:`RecursionError` (they used to kill the parser at
+~150 levels of nesting)."""
+
+import sys
+
+import pytest
+
+from repro.errors import RegexSyntaxError
+from repro.regex import parse
+from repro.regex.parser import _MAX_RECURSION_LIMIT
+from repro.regex.printer import to_pattern
+
+
+def nested(depth, core="a"):
+    return "(" * depth + core + ")" * depth
+
+
+class TestDeepNesting:
+    def test_600_deep_group_parses(self, ascii_builder):
+        b = ascii_builder
+        assert parse(b, nested(600)) is b.char("a")
+
+    def test_5000_deep_group_parses(self, ascii_builder):
+        b = ascii_builder
+        assert parse(b, nested(5000)) is b.char("a")
+
+    def test_deep_nesting_with_operators(self, ascii_builder):
+        b = ascii_builder
+        r = parse(b, nested(600, "a|b*"))
+        assert r is b.union([b.char("a"), b.star(b.char("b"))])
+
+    def test_absurd_nesting_is_a_typed_error(self, ascii_builder):
+        # beyond the recursion-limit ceiling the parser must reject the
+        # input with a structured error, not an interpreter crash
+        depth = _MAX_RECURSION_LIMIT // 2
+        with pytest.raises(RegexSyntaxError, match="nesting too deep"):
+            parse(ascii_builder, nested(depth))
+
+    def test_recursion_limit_restored(self, ascii_builder):
+        before = sys.getrecursionlimit()
+        parse(ascii_builder, nested(600))
+        assert sys.getrecursionlimit() == before
+        with pytest.raises(RegexSyntaxError):
+            parse(ascii_builder, nested(_MAX_RECURSION_LIMIT // 2))
+        assert sys.getrecursionlimit() == before
+
+    def test_unbalanced_deep_nesting_reports_position(self, ascii_builder):
+        with pytest.raises(RegexSyntaxError) as info:
+            parse(ascii_builder, "(" * 600 + "a" + ")" * 599)
+        assert "nesting too deep" not in str(info.value)
+
+
+class TestQuantifiedLoopRoundTrip:
+    """The printer used to emit ``a{1,2}?`` for ``(a{1,2})?``, which
+    re-parsed with the ``?`` swallowed as a lazy-quantifier marker."""
+
+    def test_opt_of_bounded_loop(self, ascii_builder):
+        b = ascii_builder
+        r = b.opt(b.loop(b.char("a"), 1, 2))
+        pattern = to_pattern(r, b.algebra)
+        assert pattern == "(a{1,2})?"
+        assert parse(b, pattern) is r
+
+    def test_star_of_plus(self, ascii_builder):
+        b = ascii_builder
+        r = b.loop(b.loop(b.char("a"), 2, 3), 2, 3)
+        pattern = to_pattern(r, b.algebra)
+        assert parse(b, pattern) is r

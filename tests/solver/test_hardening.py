@@ -1,0 +1,105 @@
+"""Engine hardening: resource exhaustion during solving must surface
+as a typed ``unknown`` result (with a populated ``error`` field), never
+as a propagating ``RecursionError``/``MemoryError``."""
+
+import pytest
+
+from repro.solver import formula as F
+from repro.solver.engine import RegexSolver
+from repro.solver.result import Budget
+from repro.solver.smt import SmtSolver
+
+
+@pytest.fixture(params=[RecursionError, MemoryError])
+def blown_solver(request, ascii_builder, monkeypatch):
+    """A solver whose derivative engine dies with a resource error."""
+    solver = RegexSolver(ascii_builder)
+
+    def blow_up(regex):
+        raise request.param("injected for test")
+
+    monkeypatch.setattr(solver.engine, "derivative", blow_up)
+    return solver
+
+
+class TestRegexSolverHardening:
+    def test_resource_error_maps_to_unknown(self, ascii_builder, blown_solver):
+        result = blown_solver.is_satisfiable(
+            ascii_builder.plus(ascii_builder.char("a"))
+        )
+        assert result.is_unknown
+        assert result.error is not None
+        assert result.error["type"] in ("RecursionError", "MemoryError")
+        assert result.error["message"]
+        assert result.error["type"] in result.reason
+
+    def test_error_survives_to_dict(self, ascii_builder, blown_solver):
+        result = blown_solver.is_satisfiable(
+            ascii_builder.plus(ascii_builder.char("a"))
+        )
+        dumped = result.to_dict()
+        assert dumped["status"] == "unknown"
+        assert dumped["error"]["type"] == result.error["type"]
+
+    def test_tracer_records_the_error(self, ascii_builder, monkeypatch):
+        from repro.obs import Observability
+
+        obs = Observability.tracing()
+        solver = RegexSolver(ascii_builder, obs=obs)
+        monkeypatch.setattr(
+            solver.engine, "derivative",
+            lambda regex: (_ for _ in ()).throw(RecursionError("deep")),
+        )
+        result = solver.is_satisfiable(ascii_builder.plus(ascii_builder.char("a")))
+        assert result.is_unknown
+        explore = [
+            e for e in obs.tracer.events if e["name"] == "solver.explore"
+        ]
+        assert explore
+        assert explore[0]["args"].get("error") == "RecursionError"
+
+    def test_derived_queries_propagate_unknown(self, ascii_builder, blown_solver):
+        sub = ascii_builder.char("a")
+        sup = ascii_builder.char("b")
+        result = blown_solver.contains(sub, sup)
+        assert result.is_unknown
+        assert result.error is not None
+
+
+class TestSmtSolverHardening:
+    def test_resource_error_in_branch(self, ascii_builder, blown_solver):
+        smt = SmtSolver(ascii_builder, blown_solver)
+        phi = F.InRe("x", ascii_builder.plus(ascii_builder.char("a")))
+        result = smt.solve(phi)
+        assert result.is_unknown
+
+    def test_resource_error_outside_engine(self, ascii_builder, monkeypatch):
+        smt = SmtSolver(ascii_builder)
+        monkeypatch.setattr(
+            "repro.solver.smt._disjuncts",
+            lambda node: (_ for _ in ()).throw(RecursionError("deep nnf")),
+        )
+        result = smt.solve(F.InRe("x", ascii_builder.char("a")))
+        assert result.is_unknown
+        assert result.error["type"] == "RecursionError"
+
+    def test_check_is_an_alias_for_solve(self, ascii_builder):
+        smt = SmtSolver(ascii_builder)
+        result = smt.check(F.InRe("x", ascii_builder.char("a")), budget=Budget())
+        assert result.is_sat
+        assert result.model == {"x": "a"}
+
+
+class TestDeepRegexEndToEnd:
+    def test_deeply_nested_pattern_never_crashes(self, ascii_builder):
+        """A 600-deep group both parses and solves without an uncaught
+        interpreter error (the original crash reproducer)."""
+        from repro.regex import parse
+
+        regex = parse(ascii_builder, "(" * 600 + "a" + ")" * 600)
+        solver = RegexSolver(ascii_builder)
+        result = solver.is_satisfiable(regex, Budget(fuel=10000, seconds=5.0))
+        # the nested groups collapse to the single character, so this
+        # must actually be decided sat
+        assert result.is_sat
+        assert result.witness == "a"

@@ -101,3 +101,66 @@ def test_graph_text_and_dot(capsys):
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+SMT2_SAT = (
+    "(set-logic QF_S)\n(declare-const x String)\n"
+    '(assert (str.in_re x (re.+ (str.to_re "ab"))))\n(check-sat)\n'
+)
+SMT2_UNSAT = (
+    "(set-logic QF_S)\n(declare-const x String)\n"
+    '(assert (str.in_re x (re.inter (str.to_re "a") (str.to_re "b"))))\n'
+    "(check-sat)\n"
+)
+
+
+def test_solve_jobs_matches_serial(capsys, tmp_path):
+    a = tmp_path / "a.smt2"
+    b = tmp_path / "b.smt2"
+    a.write_text(SMT2_SAT)
+    b.write_text(SMT2_UNSAT)
+    status_serial, out_serial = run(capsys, "solve", str(a), str(b))
+    status_par, out_par = run(capsys, "solve", str(a), str(b), "--jobs", "2")
+    assert status_par == status_serial == 0
+    # same verdicts, same order
+    assert [l.split(": ")[1].split()[0] for l in out_par.splitlines()] == \
+        [l.split(": ")[1].split()[0] for l in out_serial.splitlines()]
+
+
+def test_batch_directory(capsys, tmp_path):
+    (tmp_path / "a.smt2").write_text(SMT2_SAT)
+    (tmp_path / "b.smt2").write_text(SMT2_UNSAT)
+    status, out = run(capsys, "batch", str(tmp_path), "--jobs", "2")
+    assert status == 0
+    lines = out.splitlines()
+    assert lines[0].startswith("a.smt2: sat")
+    assert lines[1].startswith("b.smt2: unsat")
+    assert "2 jobs" in lines[2]
+
+
+def test_batch_jsonl_with_crash_and_output(capsys, tmp_path):
+    import json as json_mod
+
+    jsonl = tmp_path / "jobs.jsonl"
+    jsonl.write_text(
+        '{"name": "p1", "pattern": "a|b"}\n'
+        '{"name": "boom", "crash": "kill"}\n'
+        '{"name": "p2", "pattern": "x*y"}\n'
+    )
+    results = tmp_path / "out.jsonl"
+    status, out = run(capsys, "batch", str(jsonl), "--jobs", "2",
+                      "--output", str(results))
+    assert status == 1  # the crashed task is an error record
+    lines = out.splitlines()
+    assert lines[0].startswith("p1: sat")
+    assert "WorkerCrashed" in lines[1]
+    assert lines[2].startswith("p2: sat")
+    dumped = [json_mod.loads(l) for l in results.read_text().splitlines()]
+    assert [d["name"] for d in dumped] == ["p1", "boom", "p2"]
+    assert dumped[1]["error"]["type"] == "WorkerCrashed"
+
+
+def test_batch_empty_path_is_usage_error(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["batch", str(empty)]) == 2
