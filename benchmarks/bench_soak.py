@@ -1,0 +1,163 @@
+"""Bounded-memory soak: thousands of queries through the worker pool.
+
+Drives the same >=5000 pattern-satisfiability queries through
+``solve_batch`` twice — once unbounded, once with cache compaction and
+worker recycling armed — and checks the lifecycle layer's contract:
+
+* verdicts are identical between the two runs (compaction and planned
+  retirement are invisible to callers);
+* workers actually recycled (task budget) and compacted (in-worker
+  :class:`~repro.solver.lifecycle.CompactionPolicy` fired);
+* every retiring worker respected its task budget and the peak RSS it
+  reported stays under an absolute watermark.
+
+Patterns are deterministic but *distinct* (fresh literals per pattern),
+so worker caches grow monotonically unless something bounds them.
+Results to ``benchmarks/out/soak.txt`` / ``soak.json``.  Override
+``SOAK_QUERIES`` for a quicker local pass; CI runs the full default.
+"""
+
+import os
+import random
+
+from repro.alphabet import IntervalAlgebra
+from repro.regex import RegexBuilder, parse
+from repro.regex.semantics import matches
+from repro.serve import Job, solve_batch
+
+from conftest import write_artifact, write_json_artifact
+
+#: total queries per run (the acceptance floor is 5000)
+N_QUERIES = int(os.environ.get("SOAK_QUERIES", "5000"))
+WORKERS = 2
+FUEL = 100000
+SECONDS = 5.0
+#: recycle every worker after this many tasks
+MAX_TASKS = 200
+#: compact in-worker solver caches past this many entries (low enough
+#: to trip several times within one worker's MAX_TASKS lifetime)
+COMPACT_ENTRIES = 500
+#: absolute per-worker RSS watermark; doubles as the recycling backstop
+RSS_LIMIT_MB = 512
+
+ALPHABET = "ab01"
+SEED = 0x50AC
+
+
+def make_patterns(count, seed=SEED):
+    """Deterministic extended-regex patterns with fresh literals, mixing
+    plain/bounded/boolean (``&``/``~``) shapes so both the matcher
+    caches and the solver graph grow across a run."""
+    rng = random.Random(seed)
+    out = []
+    while len(out) < count:
+        word = "".join(rng.choice(ALPHABET)
+                       for _ in range(rng.randint(2, 6)))
+        other = "".join(rng.choice(ALPHABET)
+                        for _ in range(rng.randint(1, 4)))
+        shape = len(out) % 6
+        if shape == 0:
+            out.append("(%s){%d,%d}"
+                       % (word, rng.randint(1, 2), rng.randint(3, 5)))
+        elif shape == 1:
+            out.append("%s|%s" % (word, other))
+        elif shape == 2:
+            out.append(".*%s.*" % word)
+        elif shape == 3:
+            out.append("~(%s*)&[ab01]*" % word)
+        elif shape == 4:
+            out.append(".*%s.*&~(.*%s.*)" % (word, word))   # unsat
+        else:
+            out.append("[ab]{1,%d}&.*%s.*" % (rng.randint(2, 4), other))
+    return out
+
+
+def make_jobs(n):
+    patterns = make_patterns(max(50, n // 20))
+    return [
+        Job("q%05d" % i, "pattern", patterns[i % len(patterns)])
+        for i in range(n)
+    ]
+
+
+def _run(jobs, **limits):
+    return solve_batch(jobs, workers=WORKERS, fuel=FUEL, seconds=SECONDS,
+                       **limits)
+
+
+def test_soak_bounded_memory_matches_unbounded():
+    jobs = make_jobs(N_QUERIES)
+    unbounded = _run(jobs)
+    bounded = _run(jobs, max_tasks=MAX_TASKS,
+                   compact_entries=COMPACT_ENTRIES,
+                   max_rss_mb=RSS_LIMIT_MB)
+
+    for report in (unbounded, bounded):
+        assert not report.errors, report.errors[:3]
+        assert len(report.results) == N_QUERIES
+
+    # the whole point: lifecycle management never changes an answer.
+    # Statuses must match exactly; witnesses may differ byte-for-byte
+    # (each worker's query history steers which witness the graph
+    # search reaches first) but every sat witness must be a member.
+    statuses = lambda report: [(r.name, r.status) for r in report.results]
+    assert statuses(bounded) == statuses(unbounded)
+    checker = RegexBuilder(IntervalAlgebra())
+    parsed = {}
+    for result in bounded.results:
+        if result.status == "sat" and result.witness is not None:
+            pattern = jobs[int(result.name[1:])].payload
+            regex = parsed.get(pattern)
+            if regex is None:
+                regex = parsed[pattern] = parse(checker, pattern)
+            assert matches(checker.algebra, regex, result.witness), result
+
+    # recycling really happened, at the expected scale, and every
+    # retiring worker honoured its task budget
+    expected_recycles = max(1, N_QUERIES // MAX_TASKS - WORKERS)
+    assert bounded.recycled >= expected_recycles, bounded.recycled
+    assert unbounded.recycled == 0
+    assert bounded.worker_reports, "workers must ship final reports"
+    for report in bounded.worker_reports:
+        assert report["tasks"] <= MAX_TASKS, report
+
+    # in-worker compaction really fired
+    compactions = bounded.worker_metrics.get("cache.compactions", 0)
+    assert compactions >= 1, bounded.worker_metrics
+
+    # bounded means bounded: peak worker RSS stays under the watermark
+    peak_rss = max(r["rss_bytes"] for r in bounded.worker_reports)
+    assert 0 < peak_rss < RSS_LIMIT_MB << 20, peak_rss
+
+    retired = bounded.worker_metrics.get("cache.retired_entries", 0)
+    lines = [
+        "soak: %d queries x 2 runs on %d workers" % (N_QUERIES, WORKERS),
+        "  verdicts: %s (identical bounded vs unbounded)"
+        % " ".join("%s=%d" % kv for kv in sorted(bounded.counts.items())),
+        "  unbounded: wall %.2fs cpu %.2fs" % (unbounded.wall_s,
+                                               unbounded.cpu_s),
+        "  bounded:   wall %.2fs cpu %.2fs" % (bounded.wall_s,
+                                               bounded.cpu_s),
+        "  recycled %d workers (task budget %d), %d cache compactions, "
+        "%d entries retired" % (bounded.recycled, MAX_TASKS, compactions,
+                                retired),
+        "  peak worker RSS %.1f MiB (watermark %d MiB)"
+        % (peak_rss / (1 << 20), RSS_LIMIT_MB),
+    ]
+    write_artifact("soak.txt", "\n".join(lines))
+    write_json_artifact("soak.json", {
+        "queries": N_QUERIES,
+        "workers": WORKERS,
+        "max_tasks": MAX_TASKS,
+        "compact_entries": COMPACT_ENTRIES,
+        "rss_limit_mb": RSS_LIMIT_MB,
+        "counts": bounded.counts,
+        "recycled": bounded.recycled,
+        "compactions": compactions,
+        "retired_entries": retired,
+        "peak_rss_bytes": peak_rss,
+        "wall_s": {"unbounded": unbounded.wall_s,
+                   "bounded": bounded.wall_s},
+        "worker_reports": bounded.worker_reports,
+    })
+    print("\n".join(lines))

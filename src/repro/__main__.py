@@ -98,6 +98,20 @@ def build_parser():
                        help="retry budget per crashed task (default 1)")
     batch.add_argument("--output", metavar="FILE", default=None,
                        help="write per-task results as JSONL to FILE")
+    batch.add_argument("--worker-max-tasks", type=int, default=None,
+                       metavar="N",
+                       help="recycle each worker after N tasks")
+    batch.add_argument("--worker-max-rss-mb", type=int, default=None,
+                       metavar="MB",
+                       help="recycle a worker whose RSS reaches MB MiB")
+    batch.add_argument("--worker-max-cache", type=int, default=None,
+                       metavar="N",
+                       help="recycle a worker whose solver caches reach "
+                            "N entries")
+    batch.add_argument("--worker-compact", type=int, default=None,
+                       metavar="N",
+                       help="compact worker solver caches past N entries "
+                            "instead of letting them grow unboundedly")
 
     graph = sub.add_parser("graph", help="print the derivative graph")
     graph.add_argument("pattern")
@@ -114,10 +128,15 @@ def _stats_lines(result, obs):
     if stats:
         stats = stats.to_dict() if hasattr(stats, "to_dict") else dict(stats)
         stats.pop("lifetime", None)
+        caches = stats.pop("caches", None)
         lines.append("stats: " + " ".join(
             "%s=%s" % (key, stats[key]) for key in sorted(stats)
             if not isinstance(stats[key], dict)
         ))
+        if caches:
+            lines.append("caches: " + " ".join(
+                "%s=%s" % (key, caches[key]) for key in sorted(caches)
+            ))
     if obs is not None and obs.metrics.enabled:
         for name, value in sorted(obs.metrics.snapshot().items()):
             if value:
@@ -236,6 +255,10 @@ def main(argv=None):
         report = solve_batch(
             jobs, workers=args.jobs, fuel=args.fuel, seconds=args.seconds,
             max_char=127 if args.ascii else None, retries=args.retries,
+            max_tasks=args.worker_max_tasks,
+            max_rss_mb=args.worker_max_rss_mb,
+            max_cache_entries=args.worker_max_cache,
+            compact_entries=args.worker_compact,
         )
         for task in report.results:
             out.append(_task_line(task))

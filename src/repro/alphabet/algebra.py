@@ -123,7 +123,26 @@ class BooleanAlgebra(ABC):
 
     @abstractmethod
     def member(self, char, phi):
-        """True iff ``char in [[phi]]``."""
+        """True iff ``char in [[phi]]``.
+
+        Characters outside the domain ``D`` are in no predicate's
+        denotation, so ``member`` returns False for them — never an
+        error (an astral-plane character fed to a BMP algebra is a
+        non-match, not a crash).
+        """
+
+    def in_domain(self, char):
+        """True iff ``char`` is an element of the domain ``D``.
+
+        Matching entry points must check this *before* structural
+        evaluation: languages are subsets of ``D*``, so a string with
+        an out-of-domain character is in no language over ``D`` — not
+        even a complemented one (complement is relative to ``D*``).
+        Predicate-level ``member`` checks alone cannot enforce this,
+        because valid predicates (e.g. ``.``) are short-circuited to
+        unconditional branches during derivative construction.
+        """
+        return True
 
     @abstractmethod
     def pick(self, phi):

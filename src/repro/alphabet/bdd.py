@@ -168,12 +168,16 @@ class BDDAlgebra(BooleanAlgebra):
     def member(self, char, phi):
         code = ord(char) if isinstance(char, str) else int(char)
         if code > self.max_code:
-            raise AlgebraError("codepoint %#x outside %d-bit domain" % (code, self.bits))
+            return False  # out-of-domain: clean non-match, never an error
         node = phi
         while not self._is_terminal(node):
             bit = code >> (self.bits - 1 - node.var) & 1
             node = node.hi if bit else node.lo
         return node.value
+
+    def in_domain(self, char):
+        code = ord(char) if isinstance(char, str) else int(char)
+        return code <= self.max_code
 
     def pick(self, phi):
         if phi is self._false:

@@ -83,8 +83,11 @@ class BitsetAlgebra(BooleanAlgebra):
 
     def member(self, char, phi):
         if char not in self._index:
-            raise AlgebraError("character %r outside alphabet %r" % (char, self.alphabet))
+            return False  # out-of-domain: clean non-match, never an error
         return bool(self._check(phi).mask >> self._index[char] & 1)
+
+    def in_domain(self, char):
+        return char in self._index
 
     def pick(self, phi):
         mask = self._check(phi).mask

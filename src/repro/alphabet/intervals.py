@@ -190,10 +190,11 @@ class IntervalAlgebra(BooleanAlgebra):
     def member(self, char, phi):
         code = _as_codepoint(char)
         if code > self.max_code:
-            raise AlgebraError(
-                "codepoint %#x outside domain (max %#x)" % (code, self.max_code)
-            )
+            return False  # out-of-domain: clean non-match, never an error
         return code in phi
+
+    def in_domain(self, char):
+        return _as_codepoint(char) <= self.max_code
 
     def pick(self, phi):
         """Pick a member, preferring printable ASCII for readable models."""

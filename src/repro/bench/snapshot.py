@@ -67,11 +67,21 @@ def _percentile(sorted_values, q):
     return sorted_values[min(rank - 1, len(sorted_values) - 1)]
 
 
+#: Metric names under this prefix are gauge *levels* (current cache
+#: sizes published by the lifecycle layer), not event counters: summing
+#: them across records would be meaningless, so they aggregate as the
+#: peak observed value instead.
+_LEVEL_PREFIX = "cache."
+
+
 def _sum_counters(into, stats):
     for key, value in stats.items():
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             continue
-        into[key] = into.get(key, 0) + value
+        if key.startswith(_LEVEL_PREFIX):
+            into[key] = max(into.get(key, 0), value)
+        else:
+            into[key] = into.get(key, 0) + value
 
 
 def aggregate_cells(records, budget_seconds):

@@ -19,7 +19,13 @@ from repro.regex.ast import (
 
 
 def brzozowski(builder, regex, char):
-    """The classical derivative ``D_char(regex)``."""
+    """The classical derivative ``D_char(regex)``.
+
+    Out-of-domain characters derive to bottom (checked up front:
+    ``D_a(~R) = ~D_a(R)`` would otherwise wrongly admit them).
+    """
+    if not builder.algebra.in_domain(char):
+        return builder.empty
     memo = {}
 
     def go(node):

@@ -302,11 +302,70 @@ class DerivativeEngine:
             result = self.meld(op, result, self.derivative(child))
         return result
 
+    # -- lifecycle -----------------------------------------------------------------
+
+    def cache_entries(self):
+        """Total entries across the engine's four tables (used by the
+        lifecycle layer's accounting)."""
+        return (
+            len(self._trees) + len(self._leaves)
+            + len(self._deriv_memo) + len(self._meld_memo)
+        )
+
+    def compact(self, live):
+        """Retire cache entries for regexes not in ``live`` (a mapping
+        of uid -> regex built by :class:`repro.solver.lifecycle.EngineState`).
+
+        Keeps the derivative memo entries of live regexes, the interned
+        trees reachable from those entries, and the meld memo entries
+        whose operands and result all survive.  Tree uids are never
+        reused (``_next_uid`` is untouched), so interning stays sound
+        for any tree a caller might still hold.  Returns the number of
+        retired entries.
+        """
+        before = self.cache_entries()
+        kept_memo = {
+            uid: tree for uid, tree in self._deriv_memo.items() if uid in live
+        }
+        live_trees = {}
+        stack = list(kept_memo.values())
+        while stack:
+            t = stack.pop()
+            if t.uid in live_trees:
+                continue
+            live_trees[t.uid] = t
+            if not t.is_leaf:
+                stack.append(t.then)
+                stack.append(t.other)
+        self._deriv_memo = kept_memo
+        self._trees = {
+            (t.pred, t.then.uid, t.other.uid): t
+            for t in live_trees.values() if not t.is_leaf
+        }
+        self._leaves = {
+            frozenset(r.uid for r in t.regexes): t
+            for t in live_trees.values() if t.is_leaf
+        }
+        self._meld_memo = {
+            key: tree for key, tree in self._meld_memo.items()
+            if key[1] in live_trees and key[2] in live_trees
+            and tree.uid in live_trees
+        }
+        return before - self.cache_entries()
+
     # -- consumers ------------------------------------------------------------------
 
     def apply(self, tree, char):
-        """Evaluate the tree at a character: the derivative regex."""
+        """Evaluate the tree at a character: the derivative regex.
+
+        Out-of-domain characters derive to bottom: the in_domain check
+        is required here because valid predicates are short-circuited
+        to unconditional branches (``.`` derives to an eps leaf with no
+        guard to fail), so leaf-walking alone would match them.
+        """
         builder = self.builder
+        if not self.algebra.in_domain(char):
+            return builder.empty
         node = tree
         while not node.is_leaf:
             node = node.then if self.algebra.member(char, node.pred) else node.other

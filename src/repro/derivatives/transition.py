@@ -122,8 +122,14 @@ class TRCompl:
 
 
 def apply(builder, tr, char):
-    """Evaluate the denoted function: ``tr(char)`` as a regex."""
+    """Evaluate the denoted function: ``tr(char)`` as a regex.
+
+    Out-of-domain characters evaluate to bottom (checked up front:
+    negated subtrees would otherwise wrongly admit them).
+    """
     algebra = builder.algebra
+    if not algebra.in_domain(char):
+        return builder.empty
     if isinstance(tr, TRLeaf):
         return tr.regex
     if isinstance(tr, TRCond):

@@ -20,10 +20,12 @@ from repro.derivatives.condtree import DerivativeEngine
 class LazyDfa:
     """Transition cache mapping (state-uid, guard-index) to states."""
 
-    def __init__(self, builder, engine=None):
+    def __init__(self, builder, engine=None, state=None):
         self.builder = builder
         self.algebra = builder.algebra
         self.engine = engine or DerivativeEngine(builder)
+        if state is not None:
+            state.register_dfa(self)
         # state uid -> list of (guard, successor regex)
         self._rows = {}
         #: cache statistics (exposed to the matching benchmarks)
@@ -44,9 +46,26 @@ class LazyDfa:
         self.states_built += 1
         return row
 
+    def compact(self, live):
+        """Drop transition rows of states not in ``live`` (uid ->
+        regex); rows rebuild lazily on the next step.  Returns the
+        number of retired rows."""
+        before = len(self._rows)
+        self._rows = {
+            uid: row for uid, row in self._rows.items() if uid in live
+        }
+        return before - len(self._rows)
+
     def step(self, state, char):
-        """One DFA step; returns the successor state (possibly bottom)."""
+        """One DFA step; returns the successor state (possibly bottom).
+
+        Out-of-domain characters step to bottom — a clean non-match,
+        never an algebra error — so a BMP-domain matcher scanning text
+        with astral codepoints just rejects.
+        """
         self.steps += 1
+        if not self.algebra.in_domain(char):
+            return self.builder.empty
         for guard, target in self.row(state):
             if self.algebra.member(char, guard):
                 return target

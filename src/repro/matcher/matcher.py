@@ -36,10 +36,15 @@ class Match:
 class RegexMatcher:
     """Compiled matcher for one ERE (full-match, search, scan)."""
 
-    def __init__(self, builder, regex, dfa=None):
+    def __init__(self, builder, regex, dfa=None, state=None):
         self.builder = builder
         self.regex = regex
         self.dfa = dfa or LazyDfa(builder)
+        if state is not None:
+            # account/compact this matcher's DFA rows with the rest of
+            # the engine state, and keep its regex across compactions
+            state.register_dfa(self.dfa)
+            state.pin(regex)
 
     # -- whole-string matching ------------------------------------------------
 

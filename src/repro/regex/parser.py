@@ -38,8 +38,11 @@ _FRAME_SLACK = 1000
 
 _SIMPLE_ESCAPES = {
     "n": 0x0A, "r": 0x0D, "t": 0x09, "f": 0x0C, "v": 0x0B,
-    "a": 0x07, "e": 0x1B, "0": 0x00,
+    "a": 0x07, "e": 0x1B,
 }
+
+_OCTAL_DIGITS = frozenset("01234567")
+_OCTAL_MAX = 0o377
 
 
 class _Parser:
@@ -149,12 +152,17 @@ class _Parser:
         return atom
 
     def try_parse_bounds(self):
-        """Parse ``{m}``, ``{m,}`` or ``{m,n}``; None if not a bound."""
+        """Parse ``{m}``, ``{m,}``, ``{m,n}`` or the ``{,n}`` shorthand
+        (lower bound defaults to 0, as in ``re``); None if not a bound."""
         self.expect("{")
         lo = self.parse_int()
         if lo is None:
-            return None
-        if self.eat("}"):
+            # "{,n}" means "{0,n}"; any other "{" with no integer is a
+            # literal brace, handled by the caller rewinding
+            if self.peek() != ",":
+                return None
+            lo = 0
+        elif self.eat("}"):
             return lo, lo
         if not self.eat(","):
             return None
@@ -208,34 +216,106 @@ class _Parser:
         code = self.finish_char_escape(ch)
         return self.mk_pred(self.algebra.from_ranges([(code, code)]))
 
-    def finish_char_escape(self, ch):
-        """Decode the escape whose introducing character was ``ch``."""
+    def finish_char_escape(self, ch, in_class=False):
+        """Decode the escape whose introducing character was ``ch``.
+
+        Follows the ``re`` oracle: octal escapes are ``\\0oo`` anywhere
+        and ``\\ooo`` (three octal digits) or any digit run inside a
+        class; ``\\b`` is backspace inside a class only.  Every other
+        ASCII-alphanumeric escape is an error — silently dropping the
+        backslash (the old behaviour) changes the language.
+        """
         if ch in _SIMPLE_ESCAPES:
             return _SIMPLE_ESCAPES[ch]
+        if ch == "b" and in_class:
+            return 0x08
         if ch == "x":
-            return int(self.next() + self.next(), 16)
+            return self.parse_hex_digits(2, "\\x")
         if ch == "u":
             if self.eat("{"):
                 start = self.pos
-                while self.peek() != "}":
-                    self.next()
+                while self.peek() not in ("}", None):
+                    self.pos += 1
+                if self.pos == start:
+                    self.error("empty \\u{} escape")
                 code = int(self.text[start:self.pos], 16)
                 self.expect("}")
                 return code
-            return int("".join(self.next() for _ in range(4)), 16)
+            return self.parse_hex_digits(4, "\\u")
+        if ch.isdigit():
+            return self.finish_numeric_escape(ch, in_class)
+        if ch.isascii() and ch.isalpha():
+            self.error("unsupported escape \\%s" % ch)
         # escaped literal (metacharacters and anything else)
         return ord(ch)
 
+    def parse_hex_digits(self, count, what):
+        digits = ""
+        for _ in range(count):
+            nxt = self.peek()
+            if nxt is None or nxt not in "0123456789abcdefABCDEF":
+                self.error("incomplete %s escape" % what)
+            digits += self.next()
+        return int(digits, 16)
+
+    def finish_numeric_escape(self, first, in_class):
+        """An escaped digit: octal codepoint or (unsupported) backref.
+
+        ``re``'s rule: ``\\0`` starts an octal escape of up to two more
+        octal digits; inside a class every digit run is octal; outside a
+        class exactly three octal digits are an octal escape and any
+        other digit run is a group backreference — which this engine
+        cannot support (no capture groups), so it is a typed error
+        rather than a silent misparse.
+        """
+        if first == "0" or in_class:
+            if first not in _OCTAL_DIGITS:
+                self.error("unsupported escape \\%s in class" % first)
+            digits = first
+            while len(digits) < 3 and self.peek() in _OCTAL_DIGITS:
+                digits += self.next()
+            code = int(digits, 8)
+            if code > _OCTAL_MAX:
+                self.error(
+                    "octal escape value \\%s outside of range 0-0o377" % digits
+                )
+            return code
+        # outside a class: \ooo with exactly three octal digits is
+        # octal; anything else digit-led is a backreference
+        here = self.text[self.pos - 1: self.pos + 2]
+        if len(here) == 3 and all(c in _OCTAL_DIGITS for c in here):
+            self.pos += 2
+            code = int(here, 8)
+            if code > _OCTAL_MAX:
+                self.error(
+                    "octal escape value \\%s outside of range 0-0o377" % here
+                )
+            return code
+        self.error(
+            "unsupported escape \\%s (backreferences need capture groups)"
+            % first
+        )
+
     def parse_class(self):
-        if self.eat("]"):
-            return self.builder.empty  # "[]" prints/parses as bottom
         negated = self.eat("^")
-        if negated and self.eat("]"):
-            return self.builder.dot  # "[^]" is the full class
+        # A "]" directly after "[" or "[^" is a literal member when an
+        # unescaped "]" still closes the class later ("[]a]" matches
+        # "]" or "a", as in re); otherwise it closes an empty class,
+        # which prints/parses as bottom ("[]") or the full class
+        # ("[^]") — a deliberate, documented divergence from re, where
+        # a bare "[]" is a syntax error.
+        first = True
         ranges = []
         preds = []
-        while not self.eat("]"):
+        while True:
+            ch = self.peek()
+            if ch is None:
+                self.error("unterminated character class")
+            if ch == "]" and not (first and self.class_closes_later()):
+                self.pos += 1
+                break
             item = self.parse_class_item(preds)
+            first = False
             if item is None:
                 continue
             lo = item
@@ -249,6 +329,8 @@ class _Parser:
                 ranges.append((lo, hi))
             else:
                 ranges.append((lo, lo))
+        if not ranges and not preds:
+            return self.builder.dot if negated else self.builder.empty
         pred = self.algebra.from_ranges(ranges)
         for extra in preds:
             pred = self.algebra.disj(pred, extra)
@@ -257,6 +339,20 @@ class _Parser:
         if negated:
             pred = self.algebra.neg(pred)
         return self.mk_pred(pred) if not negated else self.builder.pred(pred)
+
+    def class_closes_later(self):
+        """True if an unescaped ``]`` closes the class after the one at
+        the current position (making that one a literal member)."""
+        i = self.pos + 1
+        text = self.text
+        while i < len(text):
+            if text[i] == "\\":
+                i += 2
+                continue
+            if text[i] == "]":
+                return True
+            i += 1
+        return False
 
     def parse_class_item(self, preds):
         """One class member: a codepoint, or None if it was a class
@@ -267,7 +363,7 @@ class _Parser:
             if esc in ESCAPE_CLASSES:
                 preds.append(ESCAPE_CLASSES[esc](self.algebra))
                 return None
-            return self.finish_char_escape(esc)
+            return self.finish_char_escape(esc, in_class=True)
         return ord(ch)
 
 

@@ -22,6 +22,10 @@ class Matcher:
 
     def matches(self, regex, string):
         """True iff the entire ``string`` is in ``L(regex)``."""
+        # languages are subsets of D*: a string with an out-of-domain
+        # character is in no language, complemented or not
+        if any(not self.algebra.in_domain(c) for c in string):
+            return False
         if string != self._string:
             self._memo = {}
             self._string = string

@@ -39,6 +39,8 @@ class SAFA:
 
     def accepts(self, string):
         """Alternating acceptance by backward Boolean evaluation."""
+        if any(not self.algebra.in_domain(c) for c in string):
+            return False  # negated targets must not admit foreign chars
         value = {q: q in self.finals for q in self.states}
         for char in reversed(string):
             moves = {}

@@ -67,6 +67,8 @@ class SBFA:
 
     def accepts(self, string):
         """Membership in ``L(M)`` by forward stepping over ``B(Q)``."""
+        if any(not self.algebra.in_domain(c) for c in string):
+            return False  # negated states must not admit foreign chars
         combo = self.initial
         for char in string:
             combo = self.step(combo, char)
@@ -76,6 +78,8 @@ class SBFA:
         """Membership by the classical backward (Boolean-vector)
         evaluation of Brzozowski–Leiss BFAs; must agree with
         :meth:`accepts` (tested)."""
+        if any(not self.algebra.in_domain(c) for c in string):
+            return False
         value = {q: q in self.finals for q in self.states}
         for char in reversed(string):
             value = {

@@ -43,7 +43,9 @@ _MAX_IDLE_DEATHS = 8
 
 
 class _Worker:
-    __slots__ = ("id", "proc", "task_q", "result_q", "task", "deadline")
+    __slots__ = (
+        "id", "proc", "task_q", "result_q", "task", "deadline", "retiring",
+    )
 
     def __init__(self, id, proc, task_q, result_q):
         self.id = id
@@ -52,6 +54,7 @@ class _Worker:
         self.result_q = result_q
         self.task = None        # the in-flight task dict, if any
         self.deadline = None
+        self.retiring = False   # announced planned retirement (recycling)
 
 
 class WorkerPool:
@@ -60,14 +63,24 @@ class WorkerPool:
 
     def __init__(self, workers=2, fuel=None, seconds=None, max_char=None,
                  retries=1, reap_grace=DEFAULT_REAP_GRACE,
-                 start_method=None, progress=None):
+                 start_method=None, progress=None, max_tasks=None,
+                 max_rss_mb=None, max_cache_entries=None,
+                 compact_entries=None):
         if workers < 1:
             raise ValueError("need at least one worker")
         self.workers = workers
         self.retries = retries
         self.reap_grace = reap_grace
         self.progress = progress
-        self._config = {"fuel": fuel, "seconds": seconds, "max_char": max_char}
+        # recycling watermarks (max_tasks / max_rss_mb / max_cache_
+        # entries) and the in-worker compaction policy travel to the
+        # workers through the shared config dict
+        self._config = {
+            "fuel": fuel, "seconds": seconds, "max_char": max_char,
+            "max_tasks": max_tasks, "max_rss_mb": max_rss_mb,
+            "max_cache_entries": max_cache_entries,
+            "compact_entries": compact_entries,
+        }
         if start_method is None:
             import multiprocessing
 
@@ -114,7 +127,7 @@ class WorkerPool:
         pending = deque(job.to_task(i) for i, job in enumerate(jobs))
         state = {
             "results": {}, "retries": 0, "worker_metrics": [],
-            "stats_seen": 0,
+            "stats_seen": 0, "recycled": 0, "worker_reports": [],
         }
         fleet = [self._spawn() for _ in range(min(self.workers, max(total, 1)))]
         idle_deaths = 0
@@ -122,7 +135,7 @@ class WorkerPool:
             while len(state["results"]) < total:
                 progressed = False
                 for worker in fleet:
-                    if worker.task is None and pending:
+                    if worker.task is None and not worker.retiring and pending:
                         task = pending.popleft()
                         worker.task = task
                         worker.deadline = self._task_deadline()
@@ -157,7 +170,8 @@ class WorkerPool:
         results = [state["results"][i] for i in sorted(state["results"])]
         return BatchReport(
             results, wall, self.workers, retries=state["retries"],
-            worker_metrics=worker_metrics,
+            worker_metrics=worker_metrics, recycled=state["recycled"],
+            worker_reports=state["worker_reports"],
         )
 
     def _pump(self, worker, state):
@@ -196,7 +210,21 @@ class WorkerPool:
                 self.progress(len(state["results"]), None)
         elif kind == "stats":
             state["worker_metrics"].append(msg.get("metrics") or {})
-            state["stats_seen"] += 1
+            state["worker_reports"].append({
+                "worker": msg.get("worker"),
+                "tasks": msg.get("tasks", 0),
+                "retiring": bool(msg.get("retiring")),
+                "reason": msg.get("reason"),
+                "rss_bytes": msg.get("rss_bytes", 0),
+            })
+            if msg.get("retiring"):
+                # planned retirement mid-batch: the health check will
+                # replace this worker without charging a crash, and the
+                # shutdown barrier must not count this snapshot
+                worker.retiring = True
+                state["recycled"] += 1
+            else:
+                state["stats_seen"] += 1
 
     def _check_health(self, worker, pending, state):
         """Detect crashed or wedged workers.
@@ -210,6 +238,10 @@ class WorkerPool:
             if alive:
                 return None
             self._discard(worker)
+            if worker.retiring:
+                # planned retirement, stats already merged: replace it
+                # directly instead of counting an idle death
+                return self._spawn()
             return worker  # idle death: caller counts and respawns
         now = time.monotonic()
         if alive and (worker.deadline is None or now < worker.deadline):
@@ -242,7 +274,12 @@ class WorkerPool:
             self._pump(worker, state)
             task = worker.task
             if task is not None and task["index"] not in state["results"]:
-                if task["attempts"] < self.retries:
+                if worker.retiring:
+                    # the dispatch raced a planned retirement: the task
+                    # was queued to a worker that had already decided to
+                    # exit; requeue it with no attempt penalty
+                    pending.appendleft(task)
+                elif task["attempts"] < self.retries:
                     task["attempts"] += 1
                     state["retries"] += 1
                     pending.appendleft(task)
@@ -315,17 +352,25 @@ class WorkerPool:
 
 def solve_batch(jobs, workers=2, fuel=None, seconds=None, max_char=None,
                 retries=1, reap_grace=DEFAULT_REAP_GRACE, start_method=None,
-                progress=None):
+                progress=None, max_tasks=None, max_rss_mb=None,
+                max_cache_entries=None, compact_entries=None):
     """Solve ``jobs`` on a pool of ``workers`` processes.
 
     Returns a :class:`~repro.serve.report.BatchReport` with one
     order-stable result per job; no input — however pathological — can
     abort the batch (crashes and hangs become structured ``error`` /
     ``unknown`` records).
+
+    ``max_tasks`` / ``max_rss_mb`` / ``max_cache_entries`` recycle
+    workers at the corresponding watermark (counted in ``report.
+    recycled``); ``compact_entries`` arms in-worker cache compaction.
+    Verdicts are unaffected by any of them — a recycled worker merely
+    restarts with cold caches.
     """
     pool = WorkerPool(
         workers=workers, fuel=fuel, seconds=seconds, max_char=max_char,
         retries=retries, reap_grace=reap_grace, start_method=start_method,
-        progress=progress,
+        progress=progress, max_tasks=max_tasks, max_rss_mb=max_rss_mb,
+        max_cache_entries=max_cache_entries, compact_entries=compact_entries,
     )
     return pool.run(jobs)

@@ -90,16 +90,21 @@ class BatchReport:
 
     __slots__ = (
         "results", "wall_s", "cpu_s", "workers", "retries", "counters",
-        "worker_metrics",
+        "worker_metrics", "recycled", "worker_reports",
     )
 
     def __init__(self, results, wall_s, workers, retries=0,
-                 worker_metrics=None):
+                 worker_metrics=None, recycled=0, worker_reports=None):
         self.results = sorted(results, key=lambda r: r.index)
         self.wall_s = wall_s
         self.cpu_s = sum(r.elapsed for r in self.results)
         self.workers = workers
         self.retries = retries
+        #: workers replaced by planned retirement (recycling), not crashes
+        self.recycled = recycled
+        #: per-worker final reports (tasks done, retirement reason, RSS)
+        #: from every cleanly-exiting worker, recycled or shut down
+        self.worker_reports = list(worker_reports or ())
         #: summed per-task solver counters (explored, sat_checks, ...)
         self.counters = {}
         for result in self.results:
@@ -131,19 +136,24 @@ class BatchReport:
             "cpu_s": self.cpu_s,
             "workers": self.workers,
             "retries": self.retries,
+            "recycled": self.recycled,
             "counters": dict(self.counters),
             "worker_metrics": dict(self.worker_metrics),
+            "worker_reports": [dict(r) for r in self.worker_reports],
         }
 
     def summary_line(self):
         counts = self.counts
-        return (
+        line = (
             "%d jobs: %d sat, %d unsat, %d unknown, %d error | "
             "wall %.2fs cpu %.2fs on %d workers (%d retries)"
             % (len(self.results), counts["sat"], counts["unsat"],
                counts["unknown"], counts["error"], self.wall_s, self.cpu_s,
                self.workers, self.retries)
         )
+        if self.recycled:
+            line += " (%d recycled)" % self.recycled
+        return line
 
     def __repr__(self):
         return "BatchReport(%s)" % self.summary_line()

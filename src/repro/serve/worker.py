@@ -23,8 +23,30 @@ from repro.errors import ReproError
 from repro.obs import Observability
 from repro.regex import RegexBuilder, parse
 from repro.solver.engine import RegexSolver
+from repro.solver.lifecycle import CompactionPolicy
 from repro.solver.result import Budget, error_info
 from repro.solver.smt import SmtSolver
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def rss_bytes():
+    """Resident set size of this process in bytes.
+
+    Reads ``/proc/self/statm``; falls back to ``ru_maxrss`` (then the
+    value is the process *peak*, which is fine for a recycle watermark)
+    and to 0 where neither source exists."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            return int(handle.read().split()[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:  # pragma: no cover - exotic platforms
+        return 0
 
 
 class WorkerState:
@@ -35,10 +57,17 @@ class WorkerState:
         algebra = (
             IntervalAlgebra(max_char) if max_char else IntervalAlgebra()
         )
+        compact_entries = config.get("compact_entries")
+        policy = (
+            CompactionPolicy(max_entries=compact_entries)
+            if compact_entries else None
+        )
         self.config = config
         self.builder = RegexBuilder(algebra)
         self.obs = Observability()
-        self.regex_solver = RegexSolver(self.builder, obs=self.obs)
+        self.regex_solver = RegexSolver(
+            self.builder, obs=self.obs, compaction=policy
+        )
         self.smt_solver = SmtSolver(self.builder, self.regex_solver)
         self.tasks_done = 0
 
@@ -46,6 +75,25 @@ class WorkerState:
         return Budget(
             fuel=self.config.get("fuel"), seconds=self.config.get("seconds")
         )
+
+    def should_retire(self):
+        """A reason string when this worker should be recycled, else
+        None.  Checked between tasks only, so retirement never
+        interrupts a solve."""
+        max_tasks = self.config.get("max_tasks")
+        if max_tasks and self.tasks_done >= max_tasks:
+            return "task budget (%d tasks)" % self.tasks_done
+        max_rss_mb = self.config.get("max_rss_mb")
+        if max_rss_mb:
+            rss = rss_bytes()
+            if rss >= max_rss_mb * 1024 * 1024:
+                return "rss watermark (%.1f MiB)" % (rss / 1048576.0)
+        max_cache = self.config.get("max_cache_entries")
+        if max_cache:
+            entries = self.regex_solver.state.cache_sizes()["entries_total"]
+            if entries >= max_cache:
+                return "cache watermark (%d entries)" % entries
+        return None
 
 
 def _result_stats(result):
@@ -151,8 +199,15 @@ def execute_task(state, task):
 
 
 def worker_main(worker_id, task_q, result_q, config):
-    """Process entry point: pull tasks until the ``None`` sentinel."""
+    """Process entry point: pull tasks until the ``None`` sentinel or a
+    retirement trigger (task budget, RSS or cache watermark).
+
+    Retirement is the bounded-memory half of the pool contract: the
+    worker announces it with the same final stats message as a clean
+    shutdown (plus ``retiring``/``reason`` fields) and exits; the pool
+    merges its metrics and replaces it without charging a crash."""
     state = WorkerState(config)
+    retire_reason = None
     while True:
         task = task_q.get()
         if task is None:
@@ -167,9 +222,15 @@ def worker_main(worker_id, task_q, result_q, config):
         })
         state.tasks_done += 1
         result_q.put(out)
+        retire_reason = state.should_retire()
+        if retire_reason is not None:
+            break
     result_q.put({
         "type": "stats",
         "worker": worker_id,
         "tasks": state.tasks_done,
         "metrics": state.obs.metrics.snapshot(),
+        "retiring": retire_reason is not None,
+        "reason": retire_reason,
+        "rss_bytes": rss_bytes(),
     })

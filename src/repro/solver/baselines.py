@@ -27,20 +27,36 @@ from repro.derivatives.antimirov import linear_form
 from repro.derivatives.brzozowski import brzozowski, sorted_predicates
 from repro.errors import BudgetExceeded, UnsupportedError
 from repro.obs import Observability
+from repro.solver.lifecycle import EngineState
 from repro.solver.result import Budget, SAT, SolverResult, UNKNOWN, UNSAT
 
 
 class _BaselineObsMixin:
     """Shared telemetry wiring: every baseline reports its explored
     states under a scope named after the engine, so dZ3 and the
-    baselines are comparable on the same dashboards."""
+    baselines are comparable on the same dashboards.
 
-    def _init_obs(self, obs):
+    Also shared: the lifecycle facade.  The baselines keep no memo
+    tables of their own, but their queries intern transient regexes
+    into the shared builder; the engine state bounds that growth the
+    same way as for the derivative solver.
+    """
+
+    def _init_obs(self, obs, compaction=None):
         self.obs = obs if obs is not None else Observability()
         scope = self.obs.metrics.scope("baseline").scope(self.name)
         self._c_queries = scope.counter("queries")
         self._c_explored = scope.counter("explored")
         self._tracer = self.obs.tracer
+        self.state = EngineState(self.builder, obs=self.obs, policy=compaction)
+
+    def is_satisfiable(self, regex, budget=None):
+        """Satisfiability of one ERE; a query boundary for the engine
+        state (gauges published, compaction policy applied)."""
+        try:
+            return self._is_satisfiable(regex, budget)
+        finally:
+            self.state.end_query(keep=(regex,))
 
 
 class EagerAutomataSolver(_BaselineObsMixin):
@@ -49,16 +65,16 @@ class EagerAutomataSolver(_BaselineObsMixin):
     name = "eager-sfa"
 
     def __init__(self, builder, max_states=100000, determinize_all=False,
-                 obs=None):
+                 obs=None, compaction=None):
         self.builder = builder
         self.algebra = builder.algebra
         self.max_states = max_states
         self.determinize_all = determinize_all
         if determinize_all:
             self.name = "eager-dfa"
-        self._init_obs(obs)
+        self._init_obs(obs, compaction)
 
-    def is_satisfiable(self, regex, budget=None):
+    def _is_satisfiable(self, regex, budget=None):
         states = StateBudget(self.max_states)
         self._c_queries.inc()
         try:
@@ -95,12 +111,12 @@ class AntimirovSolver(_BaselineObsMixin):
 
     name = "antimirov-pd"
 
-    def __init__(self, builder, obs=None):
+    def __init__(self, builder, obs=None, compaction=None):
         self.builder = builder
         self.algebra = builder.algebra
-        self._init_obs(obs)
+        self._init_obs(obs, compaction)
 
-    def is_satisfiable(self, regex, budget=None):
+    def _is_satisfiable(self, regex, budget=None):
         budget = budget or Budget()
         self._c_queries.inc()
         try:
@@ -207,13 +223,13 @@ class MintermSolver(_BaselineObsMixin):
 
     name = "brzozowski-minterm"
 
-    def __init__(self, builder, max_minterms=4096, obs=None):
+    def __init__(self, builder, max_minterms=4096, obs=None, compaction=None):
         self.builder = builder
         self.algebra = builder.algebra
         self.max_minterms = max_minterms
-        self._init_obs(obs)
+        self._init_obs(obs, compaction)
 
-    def is_satisfiable(self, regex, budget=None):
+    def _is_satisfiable(self, regex, budget=None):
         budget = budget or Budget()
         builder = self.builder
         algebra = self.algebra

@@ -16,6 +16,7 @@ from repro.derivatives.condtree import DerivativeEngine
 from repro.errors import BudgetExceeded
 from repro.obs import Observability
 from repro.solver.graph import RegexGraph
+from repro.solver.lifecycle import EngineState
 from repro.solver.result import (
     Budget, RESOURCE_ERRORS, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT,
     error_info,
@@ -35,13 +36,19 @@ class RegexSolver:
     ``Observability.disabled()`` to strip even the counters.
     """
 
-    def __init__(self, builder, strategy="dfs", obs=None):
+    def __init__(self, builder, strategy="dfs", obs=None, compaction=None):
         self.builder = builder
         self.algebra = builder.algebra
         self.obs = obs if obs is not None else Observability()
         self.algebra.bind_metrics(self.obs.metrics, self.obs.tracer)
         self.engine = DerivativeEngine(builder, obs=self.obs)
         self.graph = RegexGraph(is_final=lambda r: r.nullable, obs=self.obs)
+        #: lifecycle facade over the solver's persistent caches; pass a
+        #: CompactionPolicy as ``compaction`` to bound their growth
+        self.state = EngineState(
+            builder, engine=self.engine, graph=self.graph, obs=self.obs,
+            policy=compaction,
+        )
         if strategy not in ("dfs", "bfs"):
             raise ValueError("strategy must be 'dfs' or 'bfs'")
         # dZ3's unfolding is model-guided depth-first: it commits to one
@@ -74,7 +81,18 @@ class RegexSolver:
 
     def is_satisfiable(self, regex, budget=None):
         """Is ``L(regex)`` nonempty?  Returns a result with a witness
-        string when satisfiable."""
+        string when satisfiable.
+
+        A query boundary: afterwards the engine state publishes its
+        cache gauges and, when a compaction policy is armed, compacts
+        everything unreachable from ``regex`` (and any pins).
+        """
+        try:
+            return self._is_satisfiable(regex, budget)
+        finally:
+            self.state.end_query(keep=(regex,))
+
+    def _is_satisfiable(self, regex, budget):
         budget = budget or Budget()
         self._c_queries.inc()
         mark = self._mark(budget)
@@ -284,4 +302,5 @@ class RegexSolver:
             elapsed=time.perf_counter() - mark["started"],
             interned_regexes=self.builder.interned_count - mark["interned"],
             lifetime=lifetime,
+            caches=self.state.cache_sizes(),
         )

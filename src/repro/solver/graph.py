@@ -159,6 +159,45 @@ class RegexGraph:
     def alive_count(self):
         return len(self._alive)
 
+    @property
+    def edge_count(self):
+        """Edges currently in the graph.  Unlike ``edges_added`` (a
+        monotone counter that keeps counting retired edges), this is a
+        level and shrinks under :meth:`compact`."""
+        return sum(len(targets) for targets in self._succ.values())
+
+    def compact(self, keep):
+        """Drop every vertex failing the ``keep`` predicate and rebuild.
+
+        The caller must pass a *successor-closed* keep set (the
+        lifecycle layer's mark phase guarantees this): then a kept
+        closed vertex keeps all its edges, so the cached Final, Closed,
+        Alive and Dead facts remain valid verbatim on the kept
+        subgraph.  The SCC index is rebuilt fresh; ``edges_added``
+        stays monotone.  Returns the number of dropped vertices.
+        """
+        kept = {v for v in self._succ if keep(v)}
+        dropped = len(self._succ) - len(kept)
+        if not dropped:
+            return 0
+        succ = {v: {w for w in self._succ[v] if w in kept} for v in kept}
+        pred = {v: set() for v in kept}
+        scc = IncrementalSCC()
+        for v in kept:
+            scc.add_node(v)
+        for v, targets in succ.items():
+            for w in targets:
+                pred[w].add(v)
+                scc.add_edge(v, w)
+        self._succ = succ
+        self._pred = pred
+        self._scc = scc
+        self._final &= kept
+        self._closed &= kept
+        self._alive &= kept
+        self._dead &= kept
+        return dropped
+
     def same_scc(self, a, b):
         """True iff two vertices are in one strongly connected
         component (exposed for tests of the incremental SCC layer)."""

@@ -85,25 +85,33 @@ class SolverStats:
         "fuel_used", "elapsed", "interned_regexes",
     )
 
-    __slots__ = _FIELDS + ("lifetime",)
+    #: dict-valued companions to the per-query delta fields: ``lifetime``
+    #: holds cumulative counters, ``caches`` the current cache entry
+    #: counts and approximate bytes (levels, not deltas — see
+    #: :meth:`repro.solver.lifecycle.EngineState.cache_sizes`).
+    _DICT_FIELDS = ("lifetime", "caches")
 
-    def __init__(self, lifetime=None, **fields):
+    __slots__ = _FIELDS + _DICT_FIELDS
+
+    def __init__(self, lifetime=None, caches=None, **fields):
         for name in self._FIELDS:
             setattr(self, name, fields.pop(name, 0))
         if fields:
             raise TypeError("unknown stats fields: %s" % sorted(fields))
         self.lifetime = lifetime if lifetime is not None else {}
+        self.caches = caches if caches is not None else {}
 
     def to_dict(self):
         out = {name: getattr(self, name) for name in self._FIELDS}
         out["lifetime"] = dict(self.lifetime)
+        out["caches"] = dict(self.caches)
         return out
 
     # -- mapping compatibility ---------------------------------------------
 
     def __getitem__(self, key):
-        if key == "lifetime":
-            return self.lifetime
+        if key in self._DICT_FIELDS:
+            return getattr(self, key)
         if key in self._FIELDS:
             return getattr(self, key)
         raise KeyError(key)
@@ -115,16 +123,16 @@ class SolverStats:
             return default
 
     def __contains__(self, key):
-        return key == "lifetime" or key in self._FIELDS
+        return key in self._DICT_FIELDS or key in self._FIELDS
 
     def keys(self):
-        return list(self._FIELDS) + ["lifetime"]
+        return list(self._FIELDS) + list(self._DICT_FIELDS)
 
     def __iter__(self):
         return iter(self.keys())
 
     def __len__(self):
-        return len(self._FIELDS) + 1
+        return len(self._FIELDS) + len(self._DICT_FIELDS)
 
     def items(self):
         return [(key, self[key]) for key in self.keys()]

@@ -42,6 +42,20 @@ class SmtSolver:
     def solve(self, formula, budget=None):
         """Decide satisfiability; on SAT the result carries a model
         mapping each variable to a witness string."""
+        state = getattr(self.engine, "state", None)
+        if state is None:
+            return self._solve(formula, budget)
+        # the formula's atoms keep references into the regex tables, so
+        # the engine state is held for the whole formula: per-variable
+        # sub-queries are not query boundaries here.  The one boundary
+        # is after the hold is released.
+        try:
+            with state.hold():
+                return self._solve(formula, budget)
+        finally:
+            state.end_query()
+
+    def _solve(self, formula, budget):
         budget = budget or Budget()
         saw_unknown = False
         unknown_reason = None

@@ -74,9 +74,10 @@ def test_pick_empty_raises(bdd):
         bdd.pick(bdd.bot)
 
 
-def test_member_out_of_domain(bdd):
-    with pytest.raises(AlgebraError):
-        bdd.member(chr(MAX + 1), bdd.top)
+def test_member_out_of_domain_is_clean_non_match(bdd):
+    assert bdd.member(chr(MAX + 1), bdd.top) is False
+    assert bdd.in_domain(chr(MAX + 1)) is False
+    assert bdd.in_domain(chr(MAX)) is True
 
 
 def test_terminals(bdd):

@@ -60,9 +60,10 @@ def test_member(alg):
     assert not alg.member("b", phi)
 
 
-def test_member_out_of_alphabet_raises(alg):
-    with pytest.raises(AlgebraError):
-        alg.member("z", alg.top)
+def test_member_out_of_alphabet_is_clean_non_match(alg):
+    assert alg.member("z", alg.top) is False
+    assert alg.in_domain("z") is False
+    assert alg.in_domain("a") is True
 
 
 def test_from_ranges(alg):

@@ -133,9 +133,12 @@ class TestPickAndMembership:
         with pytest.raises(AlgebraError):
             alg.pick(alg.bot)
 
-    def test_member_rejects_out_of_domain(self, alg):
-        with pytest.raises(AlgebraError):
-            alg.member(chr(300), alg.top)
+    def test_member_out_of_domain_is_clean_non_match(self, alg):
+        # out-of-domain characters are in no predicate's denotation:
+        # a non-match, never an AlgebraError
+        assert alg.member(chr(300), alg.top) is False
+        assert alg.in_domain(chr(300)) is False
+        assert alg.in_domain(chr(255)) is True
 
     def test_from_char_string_and_int(self, alg):
         assert alg.from_char("a") == alg.from_char(0x61)

@@ -1,0 +1,201 @@
+"""Regression tests for confirmed divergences from the ``re`` oracle.
+
+Each class below documents one bug that the fuzz suite's oracle
+(`re.fullmatch`) exposed: the old parser silently mis-read the pattern
+(or the matcher crashed) where ``re`` has well-defined semantics.
+These tests failed before the fixes and pin the corrected behaviour.
+"""
+
+import re
+
+import pytest
+
+from repro.alphabet.bitset import BitsetAlgebra
+from repro.alphabet.intervals import IntervalAlgebra, UNICODE_MAX
+from repro.errors import RegexSyntaxError
+from repro.matcher.matcher import RegexMatcher
+from repro.regex.builder import RegexBuilder
+from repro.regex.parser import parse
+from repro.regex.printer import to_pattern
+from repro.regex.semantics import Matcher
+from repro.solver.engine import RegexSolver
+
+
+@pytest.fixture
+def builder():
+    return RegexBuilder(IntervalAlgebra())
+
+
+@pytest.fixture
+def oracle(builder):
+    matcher = Matcher(builder.algebra)
+
+    def check(pattern, string):
+        ours = matcher.matches(parse(builder, pattern), string)
+        theirs = re.fullmatch(pattern, string) is not None
+        assert ours == theirs, (
+            "divergence on %r vs %r: ours=%r re=%r"
+            % (pattern, string, ours, theirs)
+        )
+        return ours
+
+    return check
+
+
+class TestLowerBoundShorthand:
+    """``{,n}`` means ``{0,n}``, exactly as in ``re``."""
+
+    def test_matches_repetitions(self, oracle):
+        for s in ["", "a", "aa", "aaa", "aaaa", "a{,3}"]:
+            oracle("a{,3}", s)
+
+    def test_open_both_ends(self, oracle):
+        for s in ["", "a", "aaaaaa"]:
+            oracle("a{,}", s)
+
+    def test_compound_body(self, oracle):
+        for s in ["", "ab", "abab", "ababab"]:
+            oracle("(?:ab){,2}", s)
+
+    def test_literal_brace_forms_stay_literal(self, oracle):
+        # no integer and no comma: still a literal brace sequence
+        for pattern in ["a{x}", "a{", "a{}"]:
+            oracle(pattern, pattern)
+
+    def test_prints_with_explicit_zero(self, builder):
+        assert to_pattern(parse(builder, "a{,3}"), builder.algebra) == "a{0,3}"
+
+
+class TestUnsupportedEscapes:
+    """Unknown escapes raise instead of silently dropping the backslash.
+
+    The old behaviour parsed ``\\bfoo\\b`` as the literal ``bfoob`` and
+    ``(a)\\1`` as ``a1`` — silently changing the language.
+    """
+
+    @pytest.mark.parametrize("pattern", [
+        "\\bfoo\\b", "(a)\\1", "\\z", "\\B", "\\A", "\\Z", "\\8", "\\99",
+    ])
+    def test_raises_unsupported_escape(self, builder, pattern):
+        with pytest.raises(RegexSyntaxError, match="unsupported escape"):
+            parse(builder, pattern)
+
+    def test_class_rejects_non_octal_digit(self, builder):
+        with pytest.raises(RegexSyntaxError, match="unsupported escape"):
+            parse(builder, "[\\8]")
+
+    @pytest.mark.parametrize("pattern", ["\\777", "[\\777]"])
+    def test_octal_above_0o377_rejected(self, builder, pattern):
+        with pytest.raises(RegexSyntaxError, match="octal escape"):
+            parse(builder, pattern)
+
+    def test_supported_escapes_still_work(self, oracle):
+        oracle("\\n\\r\\t\\f\\v", "\n\r\t\f\v")
+        oracle("\\x41\\u0042", "AB")
+        oracle("\\.\\*\\+", ".*+")
+
+    def test_incomplete_hex_escape(self, builder):
+        with pytest.raises(RegexSyntaxError, match="incomplete"):
+            parse(builder, "\\x4")
+
+
+class TestOctalEscapes:
+    """``\\0oo`` anywhere and ``\\ooo`` decode per the ``re`` oracle."""
+
+    @pytest.mark.parametrize("pattern,string", [
+        ("\\010", "\x08"),
+        ("\\0", "\x00"),
+        ("\\07", "\x07"),
+        ("\\101", "A"),
+        ("\\377", "\xff"),
+        ("[\\1]", "\x01"),
+        ("[\\18]", "8"),
+        ("[\\18]", "\x01"),
+        ("[\\b]", "\x08"),
+    ])
+    def test_matches_oracle(self, oracle, pattern, string):
+        assert oracle(pattern, string) is True
+
+    def test_octal_does_not_match_digit_text(self, oracle):
+        assert oracle("\\010", "10") is False
+        assert oracle("\\010", "\x0010") is False
+
+    def test_printer_emits_canonical_hex(self, builder):
+        assert to_pattern(parse(builder, "\\010"), builder.algebra) == "\\u0008"
+        assert to_pattern(parse(builder, "[\\b]"), builder.algebra) == "\\u0008"
+
+    @pytest.mark.parametrize("pattern", ["\\010", "\\101", "[\\b]", "[\\1-\\7]"])
+    def test_round_trip(self, builder, pattern):
+        regex = parse(builder, pattern)
+        printed = to_pattern(regex, builder.algebra)
+        assert parse(builder, printed) is regex
+
+
+class TestLeadingBracketClasses:
+    """A ``]`` first in a class is a literal member, as in ``re``."""
+
+    @pytest.mark.parametrize("pattern,string", [
+        ("[]a]", "]"), ("[]a]", "a"), ("[]]", "]"),
+        ("[^]a]", "b"), ("[]-a]", "^"),
+    ])
+    def test_matches_oracle(self, oracle, pattern, string):
+        oracle(pattern, string)
+
+    @pytest.mark.parametrize("pattern,string", [
+        ("[]a]", "b"), ("[^]a]", "]"), ("[^]a]", "a"),
+    ])
+    def test_rejects_like_oracle(self, oracle, pattern, string):
+        assert oracle(pattern, string) is False
+
+    def test_bare_empty_class_stays_bottom(self, builder):
+        # documented divergence: re rejects "[]" as unterminated, our
+        # dialect keeps it as the canonical spelling of bottom so the
+        # printer round-trips
+        regex = parse(builder, "[]")
+        assert regex is builder.empty
+        assert to_pattern(regex, builder.algebra) == "[]"
+        assert parse(builder, "[^]") is builder.dot
+
+    def test_round_trip(self, builder):
+        regex = parse(builder, "[]a]")
+        assert parse(builder, to_pattern(regex, builder.algebra)) is regex
+
+
+ASTRAL = "\U0001F600"
+
+
+class TestOutOfDomainInput:
+    """Astral input on the BMP algebra is a clean non-match, not a crash."""
+
+    @pytest.mark.parametrize("pattern", ["[^a]", ".", "~(a)", "[^a]*", ".*"])
+    def test_matcher_paths(self, builder, pattern):
+        regex = parse(builder, pattern)
+        matcher = RegexMatcher(builder, regex)
+        assert matcher.fullmatch(ASTRAL) is False
+        # search must scan past the foreign character without raising
+        matcher.search("x%sy" % ASTRAL)
+        assert Matcher(builder.algebra).matches(regex, ASTRAL) is False
+
+    def test_solver_membership_path(self, builder):
+        solver = RegexSolver(builder)
+        assert solver.membership(ASTRAL, parse(builder, "[^a]")) is False
+        assert solver.membership(ASTRAL, parse(builder, ".*")) is False
+        assert solver.membership("ab", parse(builder, ".*")) is True
+
+    def test_derivative_engine_apply(self, builder):
+        engine = RegexSolver(builder).engine
+        regex = parse(builder, "~(a)")
+        assert engine.derive_regex(regex, ASTRAL) is builder.empty
+
+    def test_bitset_algebra_out_of_alphabet(self):
+        builder = RegexBuilder(BitsetAlgebra("ab"))
+        regex = parse(builder, "[^a]")
+        matcher = RegexMatcher(builder, regex)
+        assert matcher.fullmatch("z") is False
+        assert matcher.fullmatch("b") is True
+
+    def test_unicode_domain_matches_astral(self):
+        builder = RegexBuilder(IntervalAlgebra(UNICODE_MAX))
+        regex = parse(builder, "[^a]")
+        matcher = RegexMatcher(builder, regex)
+        assert matcher.fullmatch(ASTRAL) is True

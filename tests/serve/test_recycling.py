@@ -1,0 +1,117 @@
+"""Worker recycling: planned retirement is not a crash.
+
+A worker that hits its task budget or a memory/cache watermark between
+tasks announces retirement, ships its metrics, and exits; the pool must
+replace it silently — same verdicts, stats merged, no retries charged,
+``report.recycled`` counting the replacements.
+"""
+
+from repro.serve import Job, solve_batch
+from repro.serve.worker import WorkerState, rss_bytes
+
+PATTERNS = [
+    ("disj", "a|b", "sat"),
+    ("empty-isect", "a&b", "unsat"),
+    ("loop", "(ab){2,4}c", "sat"),
+    ("compl", "~(a*)", "sat"),
+    ("chars", "[a-f]{3}", "sat"),
+    ("anchored", "abc&ab.", "sat"),
+]
+
+BUDGET = {"fuel": 100000, "seconds": 5.0}
+
+
+def _jobs(repeat=1):
+    return [
+        Job("%s-%d" % (name, i), "pattern", pattern)
+        for i in range(repeat)
+        for name, pattern, _ in PATTERNS
+    ]
+
+
+def _expected(repeat=1):
+    return {
+        "%s-%d" % (name, i): status
+        for i in range(repeat)
+        for name, pattern, status in PATTERNS
+    }
+
+
+def test_max_tasks_recycles_without_changing_verdicts():
+    report = solve_batch(_jobs(repeat=3), workers=2, max_tasks=2, **BUDGET)
+    expected = _expected(repeat=3)
+    assert len(report.results) == len(expected)
+    for result in report.results:
+        assert result.status == expected[result.name], result
+        assert result.attempts == 1  # recycling never charges a retry
+    assert report.retries == 0
+    # 18 tasks, 2-task budget per worker: many planned retirements
+    assert report.recycled >= 4
+    # each retiring worker shipped its metrics before exiting
+    assert report.worker_metrics.get("solver.queries", 0) == len(expected)
+
+
+def test_cache_watermark_recycles():
+    report = solve_batch(
+        _jobs(repeat=2), workers=1, max_cache_entries=1, **BUDGET
+    )
+    expected = _expected(repeat=2)
+    for result in report.results:
+        assert result.status == expected[result.name], result
+    # every task trips the 1-entry watermark, so every task but the
+    # last retires its worker
+    assert report.recycled >= len(expected) - 1
+
+
+def test_rss_watermark_recycles():
+    # 1 MiB is below any CPython process floor: trips after every task
+    report = solve_batch(_jobs(), workers=1, max_rss_mb=1, **BUDGET)
+    expected = _expected()
+    for result in report.results:
+        assert result.status == expected[result.name], result
+    assert report.recycled >= 1
+
+
+def test_no_watermarks_means_no_recycling():
+    report = solve_batch(_jobs(), workers=2, **BUDGET)
+    assert report.recycled == 0
+    assert "(recycled" not in report.summary_line()
+
+
+def test_recycled_count_in_report_dict_and_summary():
+    report = solve_batch(_jobs(repeat=2), workers=1, max_tasks=1, **BUDGET)
+    assert report.to_dict()["recycled"] == report.recycled >= 1
+    assert "recycled" in report.summary_line()
+
+
+def test_compact_entries_bounds_worker_caches():
+    report = solve_batch(
+        _jobs(repeat=3), workers=1, compact_entries=100, **BUDGET
+    )
+    expected = _expected(repeat=3)
+    for result in report.results:
+        assert result.status == expected[result.name], result
+    assert report.recycled == 0
+    # the in-worker policy actually fired
+    assert report.worker_metrics.get("cache.compactions", 0) >= 1
+
+
+def test_rss_helper_reports_plausible_value():
+    rss = rss_bytes()
+    # this test process certainly uses between 1 MiB and 100 GiB
+    assert 1 << 20 < rss < 100 << 30
+
+
+def test_should_retire_reasons():
+    state = WorkerState({"max_tasks": 2})
+    assert state.should_retire() is None
+    state.tasks_done = 2
+    assert "task budget" in state.should_retire()
+
+    state = WorkerState({"max_rss_mb": 1})
+    assert "rss watermark" in state.should_retire()
+
+    state = WorkerState({"max_cache_entries": 1})
+    assert "cache watermark" in state.should_retire()
+
+    assert WorkerState({}).should_retire() is None

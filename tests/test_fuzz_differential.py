@@ -45,22 +45,59 @@ REGRESSION_CORPUS = [
     "a*b*a*",
     "(a?){4}",
     "[a-b0-1]+",
+    # divergences the oracle found (PR 4): {,n} shorthand, numeric and
+    # escape literal forms, and leading-] classes
+    "a{,3}",
+    "(ab){,2}",
+    "a{,}b?",
+    "\\x61{,2}",          # \x61 = "a"
+    "\\141|b",            # \141 = "a" (three-octal-digit form)
+    "\\060*1",            # \060 = "0"
+    "[\\060-\\062]+",
+    "[\\x30b]{1,3}",
+    "[]a]*",              # leading ] is a literal member
+    "[]ab]{,3}",
+    "[^]a]",
 ]
 
 
 class PatternGen:
-    """Random patterns over the re-compatible operator set."""
+    """Random patterns over the re-compatible operator set, including
+    the escape/bound/class spellings PR 4's parser fixes cover."""
+
+    #: alternative spellings of the alphabet characters that both
+    #: engines must read identically: hex, octal-with-leading-zero,
+    #: and three-digit octal escapes
+    ESCAPES = {
+        "a": ["\\x61", "\\141"],
+        "b": ["\\x62", "\\142"],
+        "0": ["\\x30", "\\060"],
+        "1": ["\\x31", "\\061"],
+    }
 
     def __init__(self, rng):
         self.rng = rng
 
     def literal(self):
-        return self.rng.choice(ALPHABET)
+        char = self.rng.choice(ALPHABET)
+        if self.rng.random() < 0.15:
+            return self.rng.choice(self.ESCAPES[char])
+        return char
 
     def charclass(self):
         chars = self.rng.sample(ALPHABET, self.rng.randint(1, 3))
+        if self.rng.random() < 0.1:
+            # leading ] as a literal class member ("[]ab]" style)
+            return "[]%s]" % "".join(sorted(chars))
         negate = "^" if self.rng.random() < 0.2 else ""
-        return "[%s%s]" % (negate, "".join(sorted(chars)))
+        body = "".join(sorted(chars))
+        if self.rng.random() < 0.15:
+            body = "".join(
+                self.rng.choice(self.ESCAPES[c])
+                if self.rng.random() < 0.5 else c
+                for c in body
+            )
+        return "[%s%s]" % (negate, body)
 
     def atom(self, depth):
         roll = self.rng.random()
@@ -81,8 +118,11 @@ class PatternGen:
             return atom + "*"
         if roll < 0.8:
             return atom + "+"
-        if roll < 0.9:
+        if roll < 0.85:
             return atom + "?"
+        if roll < 0.9:
+            # the {,n} lower-bound shorthand (means {0,n}, as in re)
+            return "%s{,%d}" % (atom, self.rng.randint(0, 3))
         low = self.rng.randint(0, 2)
         high = low + self.rng.randint(0, 2)
         return "%s{%d,%d}" % (atom, low, high)
@@ -109,6 +149,9 @@ def sample_strings(rng, pattern):
         for _ in range(10):
             take = rng.randint(0, min(len(literals), MAX_STRING_LEN))
             out.add("".join(literals[:take]))
+    if "]" in pattern:
+        # leading-] classes can match the bracket itself
+        out.update(["]", "]]", "a]"])
     return sorted(out)
 
 
@@ -164,3 +207,50 @@ def test_generator_is_deterministic():
     first = [PatternGen(random.Random(SEED)).pattern() for _ in range(10)]
     second = [PatternGen(random.Random(SEED)).pattern() for _ in range(10)]
     assert first == second
+
+
+ASTRAL = "\U0001F600"
+ASTRAL_STRINGS = ["", ASTRAL, "a" + ASTRAL, ASTRAL + "b", "ab", ASTRAL * 2]
+
+
+def test_unicode_domain_agrees_with_re_on_astral_input():
+    """With the full Unicode domain, astral characters behave like any
+    other out-of-pattern character — both engines must agree."""
+    from repro.alphabet.intervals import UNICODE_MAX
+
+    unicode_builder = RegexBuilder(IntervalAlgebra(UNICODE_MAX))
+    rng = random.Random(SEED + 1)
+    gen = PatternGen(rng)
+    checked = 0
+    failures = {}
+    while checked < 25:
+        pattern = gen.pattern(depth=2)
+        try:
+            compiled = re.compile(pattern)
+        except re.error:  # pragma: no cover - generator stays in-fragment
+            continue
+        checked += 1
+        regex = parse(unicode_builder, pattern)
+        for string in ASTRAL_STRINGS:
+            expected = compiled.fullmatch(string) is not None
+            got = matches(unicode_builder.algebra, regex, string)
+            if got != expected:
+                failures.setdefault(pattern, []).append(string)
+    assert not failures, failures
+
+
+def test_bmp_domain_astral_input_is_clean_non_match(builder):
+    """On the BMP-only module builder, astral input never raises — it
+    is simply not in the language (a documented divergence from re,
+    which matches astral chars against ``.`` and negated classes)."""
+    rng = random.Random(SEED + 2)
+    gen = PatternGen(rng)
+    for _ in range(25):
+        pattern = gen.pattern(depth=2)
+        try:
+            regex = parse(builder, pattern)
+        except Exception:  # pragma: no cover - generator stays in-fragment
+            continue
+        for string in ASTRAL_STRINGS:
+            if any(ord(c) > 127 for c in string):
+                assert matches(builder.algebra, regex, string) is False
