@@ -1,0 +1,21 @@
+# Convenience targets; CI runs the same commands (.github/workflows/ci.yml).
+
+PY ?= python
+
+.PHONY: test corpus-replay verify bench
+
+# Tier-1: the full test suite, including the corpus replay.
+test:
+	PYTHONPATH=src $(PY) -m pytest -x -q
+
+# Replay every frozen reproducer in tests/corpus/ through all engines.
+corpus-replay:
+	PYTHONPATH=src $(PY) -m pytest -q tests/test_corpus_replay.py
+
+# Cross-engine differential verification: corpus replay + fuzz campaign.
+verify:
+	PYTHONPATH=src $(PY) scripts/verify_ci.py --seed 0 --budget 60 --jobs 2
+
+# Benchmark snapshot + regression gate (CI-sized tier).
+bench:
+	PYTHONPATH=src $(PY) scripts/bench_ci.py --quick

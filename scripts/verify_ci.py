@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Differential-verification CI gate.
+
+Replays every frozen reproducer in ``tests/corpus/`` (a corpus
+regression is an immediate failure), then runs a seeded, wall-clock-
+budgeted fuzz campaign that solves random EREs with all four engines,
+diffs their verdicts, validates every sat witness, checks the
+metamorphic identities, and cross-checks leftmost search against
+Python's ``re`` on the standard fragment.  Any disagreement is shrunk
+to a minimal reproducer and printed.
+
+Exit status: 0 when the corpus replays clean and the campaign found no
+unexplained disagreement (one whose shrunk pattern is not already
+frozen in the corpus); 1 otherwise.
+
+Examples::
+
+    PYTHONPATH=src python scripts/verify_ci.py --seed 0 --budget 60 --jobs 2
+    PYTHONPATH=src python scripts/verify_ci.py --budget 5 --jobs 1 \\
+        --max-cases 100
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.verify import load_all, replay_entry, run_campaign
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="verify_ci",
+        description="cross-engine differential verification gate",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign base seed (worker i uses seed+i; "
+                             "default 0)")
+    parser.add_argument("--budget", type=float, default=60.0,
+                        help="campaign wall-clock budget in seconds "
+                             "(default 60)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes (default 2; 1 = in-process)")
+    parser.add_argument("--max-cases", type=int, default=None,
+                        help="stop each worker after N cases (for quick "
+                             "smoke runs)")
+    parser.add_argument("--skip-corpus", action="store_true",
+                        help="skip the corpus replay phase")
+    parser.add_argument("--report", metavar="FILE", default=None,
+                        help="write the campaign report as JSON to FILE")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    status = 0
+
+    if not args.skip_corpus:
+        entries = load_all()
+        failures = 0
+        for entry in entries:
+            ok, detail = replay_entry(entry)
+            marker = "ok" if ok else "FAIL"
+            print("corpus %-40s %s  %s" % (entry["id"], marker, detail))
+            if not ok:
+                failures += 1
+        print("corpus: %d entries, %d failures" % (len(entries), failures))
+        if failures:
+            status = 1
+
+    started = time.monotonic()
+    report = run_campaign(
+        seed=args.seed, budget_seconds=args.budget, jobs=args.jobs,
+        max_cases=args.max_cases,
+    )
+    elapsed = time.monotonic() - started
+    print(
+        "campaign: %d cases in %.1fs (seed=%d jobs=%d), %d findings, "
+        "%d unexplained" % (
+            report["cases"], elapsed, report["seed"], report["jobs"],
+            len(report["findings"]), report["unexplained"],
+        )
+    )
+    for finding in report["findings"]:
+        print("  [%s] seed=%d case=%d" % (
+            finding["stream"], finding["seed"], finding["case"],
+        ))
+        print("    pattern: %s" % finding["pattern"])
+        print("    shrunk:  %s" % finding["shrunk"])
+        for detail in finding["details"]:
+            print("    %s" % json.dumps(detail, sort_keys=True))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote report to %s" % args.report)
+    if report["unexplained"]:
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

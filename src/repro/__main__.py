@@ -15,7 +15,13 @@ Commands:
   ``--output results.jsonl``); exit 1 when any task errored, 2 when
   any came back unknown, 0 otherwise;
 * ``graph PATTERN`` — print the derivative graph (add ``--dot`` for
-  Graphviz output).
+  Graphviz output);
+* ``verify`` — cross-engine differential verification: replay the
+  frozen corpus under ``tests/corpus/`` and run a seeded, budgeted
+  fuzz campaign (``--seed``, ``--budget``, ``--jobs``) that diffs all
+  four engines, checks the metamorphic identities, and shrinks any
+  disagreement to a minimal reproducer; exit 1 on an unexplained
+  disagreement or a corpus regression.
 
 All commands take ``--ascii`` (7-bit domain), ``--fuel N`` and
 ``--seconds S`` budget flags, plus the telemetry flags ``--stats``
@@ -117,6 +123,26 @@ def build_parser():
     graph.add_argument("pattern")
     graph.add_argument("--dot", action="store_true")
     graph.add_argument("--max-states", type=int, default=50)
+
+    verify = sub.add_parser(
+        "verify",
+        help="cross-engine differential verification: fuzz all four "
+             "engines against each other and the metamorphic "
+             "identities, replay the frozen corpus",
+    )
+    verify.add_argument("--seed", type=int, default=0,
+                        help="campaign base seed (worker i uses seed+i)")
+    verify.add_argument("--budget", type=float, default=30.0,
+                        help="campaign wall-clock budget in seconds "
+                             "(default 30)")
+    verify.add_argument("--jobs", type=int, default=2,
+                        help="worker processes (default 2; 1 = in-process)")
+    verify.add_argument("--max-cases", type=int, default=None,
+                        help="stop each worker after N cases")
+    verify.add_argument("--skip-corpus", action="store_true",
+                        help="skip replaying tests/corpus/ entries")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON")
     return parser
 
 
@@ -276,6 +302,39 @@ def main(argv=None):
         render = graph_to_dot if args.dot else graph_to_text
         out.append(render(builder, regex, max_states=args.max_states))
         status = 0
+    elif args.command == "verify":
+        from repro.verify import load_all, replay_entry, run_campaign
+
+        status = 0
+        if not args.skip_corpus:
+            for entry in load_all():
+                ok, detail = replay_entry(entry)
+                out.append("corpus %s: %s (%s)" % (
+                    entry["id"], "ok" if ok else "FAIL", detail,
+                ))
+                if not ok:
+                    status = 1
+        report = run_campaign(
+            seed=args.seed, budget_seconds=args.budget, jobs=args.jobs,
+            max_cases=args.max_cases,
+        )
+        if args.json:
+            out.append(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            out.append(
+                "campaign: %d cases, %d findings (%d unexplained), "
+                "seed=%d jobs=%d" % (
+                    report["cases"], len(report["findings"]),
+                    report["unexplained"], report["seed"], report["jobs"],
+                )
+            )
+            for finding in report["findings"]:
+                out.append("  [%s] %s  (shrunk: %s)" % (
+                    finding["stream"], finding["pattern"],
+                    finding["shrunk"],
+                ))
+        if report["unexplained"]:
+            status = 1
     else:  # pragma: no cover - argparse enforces the choices
         status = 1
 

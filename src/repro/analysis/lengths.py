@@ -18,6 +18,7 @@ from collections import deque
 from repro.matcher.dfa_cache import LazyDfa
 from repro.regex.ast import (
     COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+    fold_postorder,
 )
 
 #: Symbolic "no member" (for bounds of the empty language).
@@ -29,98 +30,91 @@ UNBOUNDED = float("inf")
 def structural_min(regex):
     """A lower bound on member length; exact when ``~`` is absent.
 
-    Returns ``None`` for (syntactically evident) empty languages.
+    Returns ``None`` for (syntactically evident) empty languages.  An
+    iterative fold (:func:`~repro.regex.ast.fold_postorder`), so deep
+    regexes are handled.
     """
-    kind = regex.kind
-    if kind == EMPTY:
-        return NO_MEMBER
-    if kind == EPSILON:
-        return 0
-    if kind == PRED:
-        return 1
-    if kind == CONCAT:
-        total = 0
-        for child in regex.children:
-            sub = structural_min(child)
-            if sub is NO_MEMBER:
-                return NO_MEMBER
-            total += sub
-        return total
-    if kind == UNION:
-        subs = [structural_min(c) for c in regex.children]
-        subs = [s for s in subs if s is not NO_MEMBER]
-        return min(subs) if subs else NO_MEMBER
-    if kind == INTER:
-        # a member of the intersection is a member of every conjunct:
-        # the max of the lower bounds is still a lower bound
-        best = 0
-        for child in regex.children:
-            sub = structural_min(child)
-            if sub is NO_MEMBER:
-                return NO_MEMBER
-            best = max(best, sub)
-        return best
-    if kind == COMPL:
-        # the complement contains eps iff the body does not
-        return 1 if regex.children[0].nullable else 0
-    if kind == LOOP:
-        if regex.lo == 0:
-            return 0
-        sub = structural_min(regex.children[0])
-        if sub is NO_MEMBER:
+
+    def bound(node, kids):
+        kind = node.kind
+        if kind == EMPTY:
             return NO_MEMBER
-        return sub * regex.lo
-    raise AssertionError("unknown node kind %r" % kind)
+        if kind == EPSILON:
+            return 0
+        if kind == PRED:
+            return 1
+        if kind == CONCAT:
+            if any(sub is NO_MEMBER for sub in kids):
+                return NO_MEMBER
+            return sum(kids)
+        if kind == UNION:
+            subs = [s for s in kids if s is not NO_MEMBER]
+            return min(subs) if subs else NO_MEMBER
+        if kind == INTER:
+            # a member of the intersection is a member of every
+            # conjunct: the max of the lower bounds is still a lower
+            # bound
+            if any(sub is NO_MEMBER for sub in kids):
+                return NO_MEMBER
+            return max(kids, default=0)
+        if kind == COMPL:
+            # the complement contains eps iff the body does not
+            return 1 if node.children[0].nullable else 0
+        if kind == LOOP:
+            if node.lo == 0:
+                return 0
+            sub = kids[0]
+            if sub is NO_MEMBER:
+                return NO_MEMBER
+            return sub * node.lo
+        raise AssertionError("unknown node kind %r" % kind)
+
+    return fold_postorder(regex, bound)
 
 
 def structural_max(regex):
     """An upper bound on member length; exact when ``~`` is absent.
 
-    ``UNBOUNDED`` means no finite bound is evident.
+    ``UNBOUNDED`` means no finite bound is evident.  An iterative fold
+    (:func:`~repro.regex.ast.fold_postorder`), so deep regexes are
+    handled.
     """
-    kind = regex.kind
-    if kind == EMPTY:
-        return NO_MEMBER
-    if kind == EPSILON:
-        return 0
-    if kind == PRED:
-        return 1
-    if kind == CONCAT:
-        total = 0
-        for child in regex.children:
-            sub = structural_max(child)
-            if sub is NO_MEMBER:
+
+    def bound(node, kids):
+        kind = node.kind
+        if kind == EMPTY:
+            return NO_MEMBER
+        if kind == EPSILON:
+            return 0
+        if kind == PRED:
+            return 1
+        if kind == CONCAT:
+            if any(sub is NO_MEMBER for sub in kids):
                 return NO_MEMBER
-            total += sub
-        return total
-    if kind == UNION:
-        subs = [structural_max(c) for c in regex.children]
-        subs = [s for s in subs if s is not NO_MEMBER]
-        return max(subs) if subs else NO_MEMBER
-    if kind == INTER:
-        # any conjunct's upper bound caps the intersection
-        best = UNBOUNDED
-        for child in regex.children:
-            sub = structural_max(child)
-            if sub is NO_MEMBER:
+            return sum(kids)
+        if kind == UNION:
+            subs = [s for s in kids if s is not NO_MEMBER]
+            return max(subs) if subs else NO_MEMBER
+        if kind == INTER:
+            # any conjunct's upper bound caps the intersection
+            if any(sub is NO_MEMBER for sub in kids):
                 return NO_MEMBER
-            best = min(best, sub)
-        return best
-    if kind == COMPL:
-        # complements of non-universal languages are co-finite-ish:
-        # no finite bound can be concluded structurally
-        return UNBOUNDED
-    if kind == LOOP:
-        if regex.hi is INF:
-            sub = structural_max(regex.children[0])
+            return min(kids, default=UNBOUNDED)
+        if kind == COMPL:
+            # complements of non-universal languages are
+            # co-finite-ish: no finite bound can be concluded
+            # structurally
+            return UNBOUNDED
+        if kind == LOOP:
+            sub = kids[0]
             if sub is NO_MEMBER:
-                return 0 if regex.lo == 0 else NO_MEMBER
-            return UNBOUNDED if sub else 0
-        sub = structural_max(regex.children[0])
-        if sub is NO_MEMBER:
-            return 0 if regex.lo == 0 else NO_MEMBER
-        return sub * regex.hi
-    raise AssertionError("unknown node kind %r" % kind)
+                return 0 if node.lo == 0 else NO_MEMBER
+            if node.hi is INF:
+                return UNBOUNDED if sub else 0
+            return sub * node.hi
+        raise AssertionError("unknown node kind %r" % kind)
+
+    return fold_postorder(regex, bound)
 
 
 class LengthAnalysis:

@@ -84,18 +84,31 @@ class RegexMatcher:
 
         Returns a :class:`Match` or None.  Empty matches are reported
         when the language is nullable.
+
+        The union-of-restarts scan only bounds the search: it yields
+        the earliest end over *all* start positions, which may belong
+        to a later start than the leftmost one (``ab1|b`` on ``"ab1"``
+        closes first at 2 via the ``b`` branch, but the leftmost match
+        is ``ab1`` at 0).  Since the match closing at that earliest end
+        begins at some position <= it, the leftmost viable start is
+        also <= it, so we scan starts only up to that bound and take
+        the first that yields any match.
         """
-        end = self._earliest_end(text, start)
-        if end is None:
+        bound = self._earliest_end(text, start)
+        if bound is None:
             return None
-        # find the leftmost start that closes at `end`
-        for i in range(start, end + 1):
-            if self.fullmatch(text[i:end]):
-                best_start = i
-                break
-        else:  # pragma: no cover - earliest_end guarantees a start
-            return None
-        return Match(text, best_start, end)
+        builder = self.builder
+        for i in range(start, bound + 1):
+            state = self.regex
+            if state.nullable:
+                return Match(text, i, i)
+            for j in range(i, len(text)):
+                state = self.dfa.step(state, text[j])
+                if state.nullable:
+                    return Match(text, i, j + 1)
+                if state is builder.empty:
+                    break
+        return None  # pragma: no cover - bound guarantees a match
 
     def is_match(self, text):
         """True iff some substring of ``text`` matches."""

@@ -8,12 +8,14 @@ from repro.regex.builder import RegexBuilder
 from repro.regex.parser import parse
 from repro.regex.printer import to_pattern
 from repro.regex.semantics import Matcher, language_upto, matches
+from repro.regex.transform import reverse
 
 __all__ = [
     "Regex",
     "RegexBuilder",
     "parse",
     "to_pattern",
+    "reverse",
     "Matcher",
     "matches",
     "language_upto",

@@ -98,10 +98,24 @@ class Regex:
         return sum(1 for _ in self.iter_subterms())
 
     def depth(self):
-        """Height of the AST."""
-        if not self.children:
-            return 1
-        return 1 + max(child.depth() for child in self.children)
+        """Height of the AST (iterative and memoized over the shared
+        DAG: deep regexes are legal inputs, see :func:`fold_postorder`)."""
+        memo = {}
+        stack = [self]
+        while stack:
+            node = stack[-1]
+            if node.uid in memo:
+                stack.pop()
+                continue
+            pending = [c for c in node.children or () if c.uid not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            memo[node.uid] = 1 + max(
+                (memo[c.uid] for c in node.children or ()), default=0
+            )
+        return memo[self.uid]
 
     def is_clean(self):
         """Clean in the sense of Theorem 7.3: no ``bottom`` and no
@@ -124,3 +138,35 @@ class Regex:
             return standard(node)
 
         return boolean_layer(self)
+
+
+# -- iterative bottom-up folds ------------------------------------------------
+
+
+def fold_postorder(regex, fn):
+    """Bottom-up fold over the regex DAG: ``fn(node, child_values)``.
+
+    Iterative (explicit stack) and memoized per shared subterm, so it
+    is safe on regexes nested arbitrarily deep — the parser accepts
+    patterns tens of thousands of levels deep, and recursive passes
+    over its output crash with ``RecursionError`` (or, past the C
+    stack, a hard interpreter fault) long before that.  Every pure
+    structural pass — printing, serialization, bounds analysis,
+    rewriting — should fold through here instead of recursing.
+    """
+    memo = {}
+    stack = [regex]
+    while stack:
+        node = stack[-1]
+        if node.uid in memo:
+            stack.pop()
+            continue
+        pending = [c for c in node.children or () if c.uid not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        memo[node.uid] = fn(
+            node, [memo[c.uid] for c in node.children or ()]
+        )
+    return memo[regex.uid]

@@ -8,6 +8,7 @@ regexes re-parse to the same regex (round-trip tested).
 
 from repro.regex.ast import (
     COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+    fold_postorder,
 )
 
 _PREC_UNION = 1
@@ -88,12 +89,17 @@ def render_pred(pred, algebra=None):
 
 
 def to_pattern(regex, algebra=None):
-    """Render ``regex`` as concrete pattern text."""
+    """Render ``regex`` as concrete pattern text.
+
+    Accepts regexes as deeply nested as the parser produces: rendering
+    is an iterative fold (:func:`~repro.regex.ast.fold_postorder`), so
+    no nesting depth can exhaust the interpreter stack.
+    """
 
     def wrap(text, prec, want):
         return "(" + text + ")" if prec < want else text
 
-    def go(node):
+    def render(node, kids):
         """Return (text, precedence-of-top-operator)."""
         if node.kind == EMPTY:
             return "[]", _PREC_ATOM  # the empty class: matches nothing
@@ -102,22 +108,18 @@ def to_pattern(regex, algebra=None):
         if node.kind == PRED:
             return render_pred(node.pred, algebra), _PREC_ATOM
         if node.kind == CONCAT:
-            parts = [wrap(*go(c), want=_PREC_CONCAT) for c in node.children]
-            return "".join(parts), _PREC_CONCAT
+            return "".join(wrap(*k, want=_PREC_CONCAT) for k in kids), _PREC_CONCAT
         if node.kind == UNION:
-            parts = [wrap(*go(c), want=_PREC_UNION) for c in node.children]
-            return "|".join(parts), _PREC_UNION
+            return "|".join(wrap(*k, want=_PREC_UNION) for k in kids), _PREC_UNION
         if node.kind == INTER:
-            parts = [wrap(*go(c), want=_PREC_INTER) for c in node.children]
-            return "&".join(parts), _PREC_INTER
+            return "&".join(wrap(*k, want=_PREC_INTER) for k in kids), _PREC_INTER
         if node.kind == COMPL:
             # complement binds between & and concatenation in the
             # parser, so it must be parenthesized under concat/loops
-            inner, _ = go(node.children[0])
+            inner, _ = kids[0]
             return "~(%s)" % inner, _PREC_INTER
         if node.kind == LOOP:
-            body, prec = go(node.children[0])
-            body = wrap(body, prec, _PREC_ATOM)
+            body = wrap(*kids[0], want=_PREC_ATOM)
             lo, hi = node.lo, node.hi
             if lo == 0 and hi is INF:
                 suffix = "*"
@@ -134,5 +136,5 @@ def to_pattern(regex, algebra=None):
             return body + suffix, _PREC_QUANT
         raise AssertionError("unknown node kind %r" % node.kind)
 
-    text, _ = go(regex)
+    text, _ = fold_postorder(regex, render)
     return text

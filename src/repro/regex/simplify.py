@@ -20,23 +20,18 @@ pass against the reference semantics on random EREs.
 
 from repro.regex.ast import (
     COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+    fold_postorder,
 )
 
 
 def simplify(builder, regex):
     """One bottom-up simplification pass (idempotent up to fixpoint;
-    call :func:`simplify_fixpoint` to iterate)."""
-    memo = {}
-
-    def go(node):
-        cached = memo.get(node.uid)
-        if cached is not None:
-            return cached
-        result = _rewrite(builder, node, go)
-        memo[node.uid] = result
-        return result
-
-    return go(regex)
+    call :func:`simplify_fixpoint` to iterate).  An iterative fold
+    (:func:`~repro.regex.ast.fold_postorder`), so regexes of any
+    nesting depth are accepted."""
+    return fold_postorder(
+        regex, lambda node, kids: _rewrite(builder, node, kids)
+    )
 
 
 def simplify_fixpoint(builder, regex, max_rounds=10):
@@ -50,21 +45,21 @@ def simplify_fixpoint(builder, regex, max_rounds=10):
     return current
 
 
-def _rewrite(builder, node, go):
+def _rewrite(builder, node, kids):
+    """Rebuild ``node`` from its already-simplified children."""
     kind = node.kind
     if kind in (EMPTY, EPSILON, PRED):
         return node
     if kind == COMPL:
-        return builder.compl(go(node.children[0]))
+        return builder.compl(kids[0])
     if kind == LOOP:
-        return builder.loop(go(node.children[0]), node.lo, node.hi)
+        return builder.loop(kids[0], node.lo, node.hi)
     if kind == CONCAT:
-        return _fuse_concat(builder, [go(c) for c in node.children])
-    children = [go(c) for c in node.children]
+        return _fuse_concat(builder, kids)
     if kind == UNION:
-        return builder.union(_drop_subsumed(children, UNION))
+        return builder.union(_drop_subsumed(kids, UNION))
     if kind == INTER:
-        return builder.inter(_drop_subsumed(children, INTER))
+        return builder.inter(_drop_subsumed(kids, INTER))
     raise AssertionError("unknown node kind %r" % kind)
 
 

@@ -1,0 +1,40 @@
+"""Language-level regex transformations.
+
+Currently the single transformation is :func:`reverse`, which the
+verification subsystem uses as a metamorphic oracle: ``L(rev R)`` is
+the set of reversed members of ``L(R)``, so ``R`` and ``rev R`` must
+agree on satisfiability, emptiness, and length windows, and any
+witness for one reverses into a witness for the other.
+"""
+
+from repro.regex.ast import (
+    COMPL, CONCAT, EMPTY, EPSILON, INTER, LOOP, PRED, UNION,
+    fold_postorder,
+)
+
+
+def reverse(builder, regex):
+    """The reversal ``rev R`` with ``L(rev R) = {reversed(w) | w in L(R)}``.
+
+    Reversal distributes over every Boolean operator and loops, and
+    reverses the order of concatenations; it is an involution up to
+    the builder's canonicalization (``rev (rev R) is R``).
+    """
+
+    def rev(node, kids):
+        kind = node.kind
+        if kind in (EMPTY, EPSILON, PRED):
+            return node
+        if kind == CONCAT:
+            return builder.concat(list(reversed(kids)))
+        if kind == COMPL:
+            return builder.compl(kids[0])
+        if kind == LOOP:
+            return builder.loop(kids[0], node.lo, node.hi)
+        if kind == UNION:
+            return builder.union(kids)
+        if kind == INTER:
+            return builder.inter(kids)
+        raise AssertionError("unknown node kind %r" % kind)
+
+    return fold_postorder(regex, rev)

@@ -173,10 +173,15 @@ class _ScriptParser:
         if form == "re.allchar":
             return builder.dot
         if form == "re.empty":
-            return builder.epsilon
+            # Z3/CVC4 legacy name for the empty *language* (the
+            # standardized spelling is re.none) — not the empty string
+            return builder.empty
         if not isinstance(form, list) or not form:
             raise SmtLibError("malformed regex term: %r" % (form,))
         head = form[0]
+        if head == "as" and len(form) == 3:
+            # qualified identifier, e.g. (as re.empty (RegLan))
+            return self.regex(form[1])
         if head == "str.to_re" or head == "str.to.re":
             return builder.string(self.literal(form[1]))
         if head == "re.++":

@@ -7,48 +7,52 @@ the test suite round-trips them through the parser.
 from repro.errors import SmtLibError
 from repro.regex.ast import (
     COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+    fold_postorder,
 )
 from repro.solver import formula as F
 from repro.smtlib.sexpr import encode_string
 
 
 def regex_to_smtlib(regex, algebra=None):
-    """Render a regex as an SMT-LIB ``re``-sorted term."""
-    kind = regex.kind
-    if kind == EMPTY:
-        return "re.none"
-    if kind == EPSILON:
-        return '(str.to_re "")'
-    if kind == PRED:
-        return _pred_term(regex.pred, algebra)
-    if kind == CONCAT:
-        return "(re.++ %s)" % " ".join(
-            regex_to_smtlib(c, algebra) for c in regex.children
-        )
-    if kind == UNION:
-        return "(re.union %s)" % " ".join(
-            regex_to_smtlib(c, algebra) for c in regex.children
-        )
-    if kind == INTER:
-        return "(re.inter %s)" % " ".join(
-            regex_to_smtlib(c, algebra) for c in regex.children
-        )
-    if kind == COMPL:
-        return "(re.comp %s)" % regex_to_smtlib(regex.children[0], algebra)
-    if kind == LOOP:
-        body = regex_to_smtlib(regex.children[0], algebra)
-        lo, hi = regex.lo, regex.hi
-        if lo == 0 and hi is INF:
-            return "(re.* %s)" % body
-        if lo == 1 and hi is INF:
-            return "(re.+ %s)" % body
-        if lo == 0 and hi == 1:
-            return "(re.opt %s)" % body
-        if hi is INF:
-            # R{n,} = R{n} . R*
-            return "(re.++ ((_ re.^ %d) %s) (re.* %s))" % (lo, body, body)
-        return "((_ re.loop %d %d) %s)" % (lo, hi, body)
-    raise AssertionError("unknown node kind %r" % kind)
+    """Render a regex as an SMT-LIB ``re``-sorted term.
+
+    An iterative fold (:func:`~repro.regex.ast.fold_postorder`):
+    serialization must accept every regex the parser can produce,
+    however deep.
+    """
+
+    def term(node, kids):
+        kind = node.kind
+        if kind == EMPTY:
+            return "re.none"
+        if kind == EPSILON:
+            return '(str.to_re "")'
+        if kind == PRED:
+            return _pred_term(node.pred, algebra)
+        if kind == CONCAT:
+            return "(re.++ %s)" % " ".join(kids)
+        if kind == UNION:
+            return "(re.union %s)" % " ".join(kids)
+        if kind == INTER:
+            return "(re.inter %s)" % " ".join(kids)
+        if kind == COMPL:
+            return "(re.comp %s)" % kids[0]
+        if kind == LOOP:
+            body = kids[0]
+            lo, hi = node.lo, node.hi
+            if lo == 0 and hi is INF:
+                return "(re.* %s)" % body
+            if lo == 1 and hi is INF:
+                return "(re.+ %s)" % body
+            if lo == 0 and hi == 1:
+                return "(re.opt %s)" % body
+            if hi is INF:
+                # R{n,} = R{n} . R*
+                return "(re.++ ((_ re.^ %d) %s) (re.* %s))" % (lo, body, body)
+            return "((_ re.loop %d %d) %s)" % (lo, hi, body)
+        raise AssertionError("unknown node kind %r" % kind)
+
+    return fold_postorder(regex, term)
 
 
 def _pred_term(pred, algebra):

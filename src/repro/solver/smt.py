@@ -81,6 +81,17 @@ class SmtSolver:
             return SolverResult(
                 UNKNOWN, reason=str(exc), stats={"case_splits": case_splits}
             )
+        except _InvalidWitness as exc:
+            # the (pluggable) regex engine reported sat but its witness
+            # fails validation against the very constraints it solved:
+            # never report such a model as sat — surface a structured
+            # unknown instead so differential harnesses can flag it
+            return SolverResult(
+                UNKNOWN,
+                reason=str(exc),
+                error=error_info(exc),
+                stats={"case_splits": case_splits},
+            )
         except RESOURCE_ERRORS as exc:
             # NNF/DNF expansion or regex construction on pathologically
             # nested formulas can exhaust the stack before the regex
@@ -106,6 +117,7 @@ class SmtSolver:
         or None (branch undecided)."""
         builder = self.builder
         constraints = {}
+        length_atoms = {}
         for literal in literals:
             positive = True
             atom = literal
@@ -123,6 +135,10 @@ class SmtSolver:
             constraints[atom.var] = (
                 regex if prev is None else builder.inter([prev, regex])
             )
+            if isinstance(atom, F.LenCmp):
+                length_atoms.setdefault(atom.var, []).append(
+                    (atom, positive)
+                )
         model = {}
         undecided = False
         for var, regex in constraints.items():
@@ -132,10 +148,46 @@ class SmtSolver:
             if result.is_unknown:
                 undecided = True
                 continue
+            self._validate_witness(
+                var, regex, result.witness, length_atoms.get(var, ())
+            )
             model[var] = result.witness
         if undecided:
             return None
         return model
+
+    def _validate_witness(self, var, regex, witness, length_atoms):
+        """Check an engine-produced sat witness against *both* theories
+        before it becomes part of a model: regex membership (via the
+        reference semantics, independent of the engine under test) and
+        the arithmetic reading of every length atom.  The engine is
+        pluggable, so a buggy engine could otherwise launder an invalid
+        witness straight into a reported model.
+
+        Raises :class:`_InvalidWitness`; :meth:`_solve` maps it to an
+        ``unknown`` result carrying ``error``.
+        """
+        from repro.regex.semantics import Matcher
+
+        if witness is None:
+            raise _InvalidWitness(
+                "engine reported sat for %s without a witness" % var
+            )
+        if not Matcher(self.builder.algebra).matches(regex, witness):
+            raise _InvalidWitness(
+                "engine witness %r for %s is not in the constraint "
+                "language" % (witness, var)
+            )
+        for atom, positive in length_atoms:
+            holds = _len_cmp(len(witness), atom.op, atom.bound)
+            if holds != positive:
+                raise _InvalidWitness(
+                    "engine witness %r for %s violates length atom "
+                    "%s(str.len %s) %s %d" % (
+                        witness, var, "" if positive else "not ",
+                        var, atom.op, atom.bound,
+                    )
+                )
 
     def check_model(self, formula, model):
         """Evaluate a candidate model against the formula (used by the
@@ -159,6 +211,27 @@ class SmtSolver:
             raise TypeError("not a formula: %r" % (node,))
 
         return ev(formula)
+
+
+class _InvalidWitness(Exception):
+    """An engine-produced witness failed post-hoc validation."""
+
+
+def _len_cmp(length, op, bound):
+    """Arithmetic reading of a length atom on a concrete length."""
+    if op == "=":
+        return length == bound
+    if op == "!=":
+        return length != bound
+    if op == "<":
+        return length < bound
+    if op == "<=":
+        return length <= bound
+    if op == ">":
+        return length > bound
+    if op == ">=":
+        return length >= bound
+    raise AssertionError("unknown length operator %r" % op)
 
 
 def _disjuncts(node):

@@ -1,0 +1,277 @@
+"""Seeded, budgeted, pool-parallel verification campaigns.
+
+A campaign draws random EREs from :class:`RegexGen`, runs each through
+the cross-engine oracle and the metamorphic identities, and — on the
+standard fragment — cross-checks the matcher's leftmost search against
+Python's ``re``.  Anything flagged is shrunk to a minimal reproducer
+(:mod:`repro.verify.shrink`) and reported; findings whose shrunk
+pattern is already frozen in the corpus are *explained*, everything
+else is a new bug and fails CI.
+
+Determinism: worker ``i`` of ``jobs`` uses ``seed + i`` and its own
+:class:`random.Random`; given the same seed, budget-independent parts
+of the stream are reproducible case by case.
+"""
+
+import itertools
+import random
+import re as stdlib_re
+import time
+
+from repro.regex import RegexBuilder, parse, to_pattern
+from repro.verify.metamorphic import check_identities
+from repro.verify.oracle import CrossEngineOracle
+from repro.verify.shrink import shrink
+
+DEFAULT_ALPHABET = "ab01"
+#: Per-query budgets inside campaigns: small enough to keep case
+#: throughput up, large enough that depth<=4 EREs over a 4-letter
+#: alphabet essentially never come back unknown.
+CASE_FUEL = 120000
+CASE_SECONDS = 3.0
+
+
+class RegexGen:
+    """Random EREs over a builder, tuned for oracle duty: every
+    operator of the paper's grammar, small depths, a 4-letter
+    alphabet so brute-force cross-checks stay cheap."""
+
+    def __init__(self, rng, builder, alphabet=DEFAULT_ALPHABET):
+        self.rng = rng
+        self.builder = builder
+        self.alphabet = alphabet
+
+    def leaf(self):
+        rng, builder = self.rng, self.builder
+        roll = rng.random()
+        if roll < 0.15:
+            return builder.epsilon
+        if roll < 0.55:
+            return builder.char(rng.choice(self.alphabet))
+        chars = rng.sample(
+            self.alphabet, rng.randint(1, min(3, len(self.alphabet)))
+        )
+        pred = builder.algebra.from_ranges(
+            [(ord(c), ord(c)) for c in chars]
+        )
+        if rng.random() < 0.3:
+            pred = builder.algebra.neg(pred)
+        return builder.pred(pred)
+
+    def regex(self, depth):
+        rng, builder = self.rng, self.builder
+        if depth <= 0:
+            return self.leaf()
+        roll = rng.random()
+        if roll < 0.2:
+            return self.leaf()
+        if roll < 0.4:
+            return builder.concat(
+                [self.regex(depth - 1) for _ in range(rng.randint(2, 3))]
+            )
+        if roll < 0.55:
+            return builder.union(
+                [self.regex(depth - 1) for _ in range(rng.randint(2, 3))]
+            )
+        if roll < 0.7:
+            return builder.inter(
+                [self.regex(depth - 1), self.regex(depth - 1)]
+            )
+        if roll < 0.82:
+            return builder.compl(self.regex(depth - 1))
+        lo = rng.randint(0, 2)
+        hi = None if rng.random() < 0.3 else lo + rng.randint(0, 2)
+        return builder.loop(self.regex(depth - 1), lo, hi)
+
+    def standard_regex(self, depth):
+        """No ``&``/``~``: the fragment Python's ``re`` can mirror."""
+        rng, builder = self.rng, self.builder
+        if depth <= 0:
+            return self.leaf_standard()
+        roll = rng.random()
+        if roll < 0.3:
+            return self.leaf_standard()
+        if roll < 0.6:
+            return builder.concat(
+                [self.standard_regex(depth - 1)
+                 for _ in range(rng.randint(2, 3))]
+            )
+        if roll < 0.85:
+            return builder.union(
+                [self.standard_regex(depth - 1)
+                 for _ in range(rng.randint(2, 3))]
+            )
+        lo = rng.randint(0, 2)
+        hi = None if rng.random() < 0.3 else lo + rng.randint(0, 2)
+        return builder.loop(self.standard_regex(depth - 1), lo, hi)
+
+    def leaf_standard(self):
+        rng, builder = self.rng, self.builder
+        roll = rng.random()
+        if roll < 0.6:
+            return builder.char(rng.choice(self.alphabet))
+        chars = rng.sample(
+            self.alphabet, rng.randint(1, min(3, len(self.alphabet)))
+        )
+        return builder.pred(builder.algebra.from_ranges(
+            [(ord(c), ord(c)) for c in chars]
+        ))
+
+
+def solver_findings(builder, regex, fuel=CASE_FUEL, seconds=CASE_SECONDS):
+    """Oracle disagreements plus metamorphic violations, as dicts."""
+    oracle = CrossEngineOracle(builder)
+    found = [d.to_dict() for d in oracle.check(regex, fuel, seconds)]
+    found.extend(
+        v.to_dict()
+        for v in check_identities(builder, regex, fuel=fuel, seconds=seconds)
+    )
+    return found
+
+
+def search_mismatch(builder, regex, texts):
+    """The first text where matcher search start/existence disagrees
+    with Python ``re`` on the standard fragment, or None."""
+    from repro.matcher import RegexMatcher
+
+    pattern = to_pattern(regex, builder.algebra)
+    try:
+        compiled = stdlib_re.compile(pattern)
+    except stdlib_re.error:
+        return None
+    matcher = RegexMatcher(builder, regex)
+    for text in texts:
+        ours = matcher.search(text)
+        theirs = compiled.search(text)
+        if (ours is None) != (theirs is None):
+            return {
+                "kind": "search-existence", "text": text,
+                "ours": None if ours is None else list(ours.span()),
+                "theirs": None if theirs is None else list(theirs.span()),
+            }
+        if ours is not None and ours.start != theirs.start():
+            return {
+                "kind": "search-start", "text": text,
+                "ours": list(ours.span()),
+                "theirs": list(theirs.span()),
+            }
+    return None
+
+
+def _fresh_builder(alphabet):
+    from repro.alphabet import IntervalAlgebra
+
+    max_char = max(ord(c) for c in alphabet + "z")
+    return RegexBuilder(IntervalAlgebra(max(max_char, 127)))
+
+
+def _sample_texts(rng, alphabet, count=24, max_len=7):
+    extra = alphabet + "z"
+    texts = [""]
+    for _ in range(count):
+        n = rng.randint(0, max_len)
+        texts.append("".join(rng.choice(extra) for _ in range(n)))
+    return texts
+
+
+def run_shard(args):
+    """One worker's share of a campaign.  ``args`` is a tuple so the
+    function can cross a multiprocessing boundary."""
+    (seed, budget_seconds, fuel, seconds, alphabet, max_cases) = args
+    rng = random.Random(seed)
+    started = time.monotonic()
+    cases = 0
+    findings = []
+    while time.monotonic() - started < budget_seconds:
+        if max_cases is not None and cases >= max_cases:
+            break
+        builder = _fresh_builder(alphabet)
+        gen = RegexGen(rng, builder, alphabet)
+        cases += 1
+        if cases % 4 == 0:
+            # matcher stream: leftmost search vs Python re
+            regex = gen.standard_regex(rng.randint(1, 3))
+            texts = _sample_texts(rng, alphabet)
+            mismatch = search_mismatch(builder, regex, texts)
+            if mismatch is None:
+                continue
+            text = mismatch["text"]
+            shrunk = shrink(
+                builder, regex,
+                lambda r: search_mismatch(builder, r, [text]) is not None,
+            )
+            findings.append({
+                "stream": "search",
+                "pattern": to_pattern(regex, builder.algebra),
+                "shrunk": to_pattern(shrunk, builder.algebra),
+                "text": text,
+                "details": [mismatch],
+                "seed": seed,
+                "case": cases,
+            })
+            continue
+        # solver stream: oracle + metamorphic
+        regex = gen.regex(rng.randint(1, 4))
+        found = solver_findings(builder, regex, fuel, seconds)
+        if not found:
+            continue
+        shrunk = shrink(
+            builder, regex,
+            lambda r: bool(solver_findings(builder, r, fuel, seconds)),
+        )
+        findings.append({
+            "stream": "solver",
+            "pattern": to_pattern(regex, builder.algebra),
+            "shrunk": to_pattern(shrunk, builder.algebra),
+            "details": found,
+            "seed": seed,
+            "case": cases,
+        })
+    return {"seed": seed, "cases": cases, "findings": findings}
+
+
+def run_campaign(seed=0, budget_seconds=60.0, jobs=2, fuel=CASE_FUEL,
+                 seconds=CASE_SECONDS, alphabet=DEFAULT_ALPHABET,
+                 max_cases=None, corpus_dir=None):
+    """Run a campaign; returns a JSON-ready report.
+
+    ``jobs == 1`` runs in-process (deterministic, debuggable); more
+    jobs fan shards over a process pool, worker ``i`` seeded with
+    ``seed + i``.  A finding is *explained* when its shrunk pattern is
+    already frozen in the corpus; the report's ``unexplained`` count
+    is the CI gate.
+    """
+    shard_args = [
+        (seed + i, budget_seconds, fuel, seconds, alphabet, max_cases)
+        for i in range(max(jobs, 1))
+    ]
+    if len(shard_args) == 1:
+        shards = [run_shard(shard_args[0])]
+    else:
+        import multiprocessing
+
+        with multiprocessing.Pool(processes=len(shard_args)) as pool:
+            shards = pool.map(run_shard, shard_args)
+
+    from repro.verify.corpus import load_all
+
+    known_patterns = set()
+    for entry in load_all(corpus_dir):
+        for key in ("pattern", "shrunk"):
+            if key in entry:
+                known_patterns.add(entry[key])
+
+    findings = list(itertools.chain.from_iterable(
+        shard["findings"] for shard in shards
+    ))
+    unexplained = [
+        f for f in findings if f["shrunk"] not in known_patterns
+    ]
+    return {
+        "seed": seed,
+        "jobs": len(shard_args),
+        "budget_seconds": budget_seconds,
+        "cases": sum(shard["cases"] for shard in shards),
+        "findings": findings,
+        "unexplained": len(unexplained),
+    }

@@ -1,0 +1,146 @@
+"""Metamorphic identities: single-engine self-consistency checks.
+
+Each identity relates a solver answer on a regex to the answer on a
+*transformed* regex that provably has the same (or a determined)
+answer.  A violated identity is a bug with no second engine needed:
+
+* **derivative expansion** (Theorem 4.3): ``sat(R)`` iff ``R`` is
+  nullable or some satisfiable derivative branch is sat;
+* **reversal**: ``L(rev R)`` is the reversed language, so ``sat``
+  status, emptiness, and length windows coincide;
+* **Boolean laws** on the solver (not just the builder): ``R & ~R``
+  is unsat, ``R | ~R`` is universal, and De Morgan duals are
+  equivalent;
+* **length consistency**: a witness's length lies inside the
+  structural ``[min, max]`` bounds of :mod:`repro.analysis.lengths`.
+
+Returns :class:`Violation` records, shaped like oracle findings so
+campaigns treat the two streams uniformly.
+"""
+
+from repro.analysis.lengths import (
+    NO_MEMBER, UNBOUNDED, structural_max, structural_min,
+)
+from repro.derivatives.condtree import DerivativeEngine
+from repro.regex.transform import reverse
+from repro.solver import Budget, RegexSolver
+
+
+class Violation:
+    """A failed identity: ``identity`` names it, ``detail`` explains."""
+
+    __slots__ = ("identity", "detail")
+
+    def __init__(self, identity, detail):
+        self.identity = identity
+        self.detail = detail
+
+    def to_dict(self):
+        return {"identity": self.identity, "detail": self.detail}
+
+    def __repr__(self):
+        return "Violation(%s: %s)" % (self.identity, self.detail)
+
+
+def check_identities(builder, regex, solver=None, fuel=200000, seconds=5.0):
+    """All identity violations for one regex (empty list = clean).
+
+    Identities are only *checked* when both sides produced concrete
+    answers inside the budget; unknowns are skipped, never flagged.
+    """
+    solver = solver or RegexSolver(builder)
+    budget = lambda: Budget(fuel=fuel, seconds=seconds)
+    violations = []
+
+    def sat_status(r):
+        return solver.is_satisfiable(r, budget())
+
+    base = sat_status(regex)
+    if base.status not in ("sat", "unsat"):
+        return violations
+
+    # -- derivative expansion: sat(R) <=> nullable(R) or some branch sat
+    algebra = builder.algebra
+    engine = DerivativeEngine(builder)
+    expanded = None
+    if regex.nullable:
+        expanded = "sat"
+    else:
+        expanded = "unsat"
+        for guard, leaves in engine.transitions(regex):
+            if not algebra.is_sat(guard):
+                continue
+            branch = sat_status(builder.union(list(leaves)))
+            if branch.status == "sat":
+                expanded = "sat"
+                break
+            if branch.status not in ("sat", "unsat"):
+                expanded = None  # a branch timed out: inconclusive
+                break
+    if expanded is not None and expanded != base.status:
+        violations.append(Violation(
+            "derivative-expansion",
+            "sat(R)=%s but nullable/derivative expansion says %s"
+            % (base.status, expanded),
+        ))
+
+    # -- reversal invariance
+    reversed_regex = reverse(builder, regex)
+    rev = sat_status(reversed_regex)
+    if rev.status in ("sat", "unsat") and rev.status != base.status:
+        violations.append(Violation(
+            "reverse", "sat(R)=%s but sat(rev R)=%s"
+            % (base.status, rev.status),
+        ))
+
+    # -- Boolean laws through the solver
+    contradiction = sat_status(builder.inter([regex, builder.compl(regex)]))
+    if contradiction.status == "sat":
+        violations.append(Violation(
+            "compl-inter", "R & ~R reported sat (witness %r)"
+            % (contradiction.witness,),
+        ))
+    excluded_middle = sat_status(builder.union([regex, builder.compl(regex)]))
+    if excluded_middle.status == "unsat":
+        violations.append(Violation(
+            "compl-union", "R | ~R reported unsat",
+        ))
+
+    # -- De Morgan: ~(R & S) == ~R | ~S with S = rev R (an arbitrary
+    # second operand that costs nothing to build)
+    other = reversed_regex
+    left = builder.compl(builder.inter([regex, other]))
+    right = builder.union(
+        [builder.compl(regex), builder.compl(other)]
+    )
+    de_morgan = solver.equivalent(left, right, budget())
+    if de_morgan.status == "unsat":
+        violations.append(Violation(
+            "de-morgan",
+            "~(R & S) != ~R | ~S, distinguished by %r"
+            % (de_morgan.witness,),
+        ))
+
+    # -- length-analysis consistency
+    low, high = structural_min(regex), structural_max(regex)
+    if base.status == "sat":
+        if low is NO_MEMBER:
+            violations.append(Violation(
+                "length-min",
+                "sat regex but structural_min reports no member",
+            ))
+        elif base.witness is not None:
+            n = len(base.witness)
+            if n < low:
+                violations.append(Violation(
+                    "length-min",
+                    "witness length %d below structural minimum %d"
+                    % (n, low),
+                ))
+            if high is not NO_MEMBER and high is not UNBOUNDED and n > high:
+                violations.append(Violation(
+                    "length-max",
+                    "witness length %d above structural maximum %s"
+                    % (n, high),
+                ))
+    return violations

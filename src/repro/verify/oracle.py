@@ -1,0 +1,128 @@
+"""The cross-engine oracle: four deciders, one question.
+
+A disagreement between any two engines on a concrete verdict, or a
+sat witness that the reference semantics rejects, is a bug *somewhere*
+— the oracle does not know where, it only knows the implementations
+cannot all be right.  Campaigns shrink whatever the oracle flags and
+freeze it into the corpus.
+"""
+
+from repro.matcher import RegexMatcher
+from repro.obs import NULL_OBS
+from repro.regex.semantics import Matcher
+from repro.solver import Budget, RegexSolver
+from repro.solver.baselines import (
+    AntimirovSolver, EagerAutomataSolver, MintermSolver,
+)
+
+#: The engine lineup; names are stable identifiers used in corpus
+#: entries and reports.
+ENGINE_NAMES = ("dz3", "eager", "antimirov", "minterm")
+
+
+def make_engines(builder, obs=None):
+    """Fresh instances of all four engines over one builder."""
+    obs = obs or NULL_OBS
+    return {
+        "dz3": RegexSolver(builder, obs=obs),
+        "eager": EagerAutomataSolver(builder, obs=obs),
+        "antimirov": AntimirovSolver(builder, obs=obs),
+        "minterm": MintermSolver(builder, obs=obs),
+    }
+
+
+class Disagreement:
+    """One oracle finding.
+
+    ``kind`` is ``"verdict"`` (two engines returned opposite concrete
+    statuses), ``"witness"`` (an engine's sat witness is not in the
+    language, per the reference semantics), or ``"matcher"`` (the
+    semantics and the DFA matcher disagree on a witness).  ``detail``
+    is a human-readable sentence; ``verdicts`` maps engine name to
+    status.
+    """
+
+    __slots__ = ("kind", "detail", "verdicts", "witnesses")
+
+    def __init__(self, kind, detail, verdicts=None, witnesses=None):
+        self.kind = kind
+        self.detail = detail
+        self.verdicts = dict(verdicts or {})
+        self.witnesses = dict(witnesses or {})
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "verdicts": dict(self.verdicts),
+            "witnesses": dict(self.witnesses),
+        }
+
+    def __repr__(self):
+        return "Disagreement(%s: %s)" % (self.kind, self.detail)
+
+
+class CrossEngineOracle:
+    """Runs one regex through every engine and cross-checks."""
+
+    def __init__(self, builder, obs=None, engines=None):
+        self.builder = builder
+        self.obs = obs or NULL_OBS
+        self.engines = engines or make_engines(builder, self.obs)
+        self.semantics = Matcher(builder.algebra)
+        scope = self.obs.metrics.scope("verify")
+        self._c_checked = scope.counter("oracle_checked")
+        self._c_flagged = scope.counter("oracle_flagged")
+
+    def budget(self, fuel=200000, seconds=5.0):
+        return Budget(fuel=fuel, seconds=seconds)
+
+    def check(self, regex, fuel=200000, seconds=5.0):
+        """All oracle findings for one regex (empty list = consistent).
+
+        Engines that answer ``unknown`` (budget, state caps) are
+        excluded from the diff — an incomplete engine is not a wrong
+        engine.
+        """
+        self._c_checked.inc()
+        verdicts = {}
+        witnesses = {}
+        for name, engine in self.engines.items():
+            result = engine.is_satisfiable(
+                regex, self.budget(fuel, seconds)
+            )
+            verdicts[name] = result.status
+            if result.witness is not None:
+                witnesses[name] = result.witness
+
+        findings = []
+        concrete = {n: s for n, s in verdicts.items()
+                    if s in ("sat", "unsat")}
+        if len(set(concrete.values())) > 1:
+            findings.append(Disagreement(
+                "verdict",
+                "engines disagree: %s" % ", ".join(
+                    "%s=%s" % kv for kv in sorted(concrete.items())
+                ),
+                verdicts, witnesses,
+            ))
+        for name, witness in sorted(witnesses.items()):
+            if verdicts.get(name) != "sat":
+                continue
+            if not self.semantics.matches(regex, witness):
+                findings.append(Disagreement(
+                    "witness",
+                    "%s witness %r rejected by the reference semantics"
+                    % (name, witness),
+                    verdicts, witnesses,
+                ))
+            elif not RegexMatcher(self.builder, regex).fullmatch(witness):
+                findings.append(Disagreement(
+                    "matcher",
+                    "%s witness %r accepted by the semantics but "
+                    "rejected by the DFA matcher" % (name, witness),
+                    verdicts, witnesses,
+                ))
+        if findings:
+            self._c_flagged.inc()
+        return findings

@@ -87,8 +87,51 @@ def test_search_no_match(bitset_builder):
 def test_match_repr_and_span(bitset_builder):
     matcher = compile_pattern(bitset_builder, "b+")
     match = matcher.search("abba")
-    assert match.span() == (1, 2)  # earliest end semantics
+    assert match.span() == (1, 2)  # leftmost start, shortest end
     assert "group='b'" in repr(match)
+
+
+class TestLeftmostConvention:
+    """Regression (tests/corpus/search-leftmost-union-restart): the
+    union-of-restarts scan finds the earliest *end* over all starts,
+    which can belong to a later start than the leftmost one.  search()
+    must honour the documented leftmost-shortest convention."""
+
+    def test_earlier_start_beats_earlier_end(self, bitset_builder):
+        matcher = compile_pattern(bitset_builder, "ab1|b")
+        match = matcher.search("ab1")
+        assert match.span() == (0, 3)
+        assert match.group() == "ab1"
+
+    def test_shortest_among_leftmost(self, bitset_builder):
+        matcher = compile_pattern(bitset_builder, "a|ab")
+        assert matcher.search("ab").span() == (0, 1)
+
+    def test_empty_match_at_leftmost_position(self, bitset_builder):
+        matcher = compile_pattern(bitset_builder, "b*")
+        assert matcher.search("ab").span() == (0, 0)
+
+    def test_start_offset_respected(self, bitset_builder):
+        matcher = compile_pattern(bitset_builder, "ab1|b")
+        assert matcher.search("ab1ab1", 1).span() == (1, 2)
+        assert matcher.search("ab1ab1", 3).span() == (3, 6)
+
+    def test_start_vs_python_re_on_overlapping_alternatives(
+        self, bitset_builder
+    ):
+        for pattern in ["ab1|b", "a|ba", "(ab)+|b+", "0|01|011"]:
+            ours = compile_pattern(bitset_builder, pattern)
+            theirs = pyre.compile(pattern)
+            for text in TEXTS + ["ab1", "bab1", "011011"]:
+                got = ours.search(text)
+                want = theirs.search(text)
+                assert (got is None) == (want is None), (pattern, text)
+                if got is not None:
+                    assert got.start == want.start(), (pattern, text)
+
+    def test_finditer_with_leftmost_semantics(self, bitset_builder):
+        matcher = compile_pattern(bitset_builder, "ab1|b")
+        assert matcher.findall("ab1b") == ["ab1", "b"]
 
 
 def test_dfa_cache_shared_and_reused(bitset_builder):

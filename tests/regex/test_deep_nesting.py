@@ -51,6 +51,86 @@ class TestDeepNesting:
         assert "nesting too deep" not in str(info.value)
 
 
+def alternating(depth):
+    """A deep pattern whose AST does NOT collapse: ``a(b|a(b|...))``.
+
+    Unlike :func:`nested`, every level survives canonicalization, so
+    the resulting regex really is ``2*depth`` nodes tall — the input
+    that used to crash every recursive structural pass."""
+    return "a(b|" * depth + "a" + ")" * depth
+
+
+class TestDeepStructuralPasses:
+    """The frozen crash cluster (tests/corpus/print-deep-nesting-*):
+    printing, SMT-LIB serialization, length bounds and simplification
+    recursed over the AST and died on deep non-collapsing regexes —
+    with ``RecursionError``, or a hard interpreter fault once the
+    recursion limit was raised past the C stack.  All four are now
+    iterative folds; none may touch the recursion limit."""
+
+    DEPTH = 4000
+
+    @pytest.fixture(scope="class")
+    def deep(self, request):
+        from repro.alphabet import IntervalAlgebra
+        from repro.regex import RegexBuilder
+
+        builder = RegexBuilder(IntervalAlgebra(127))
+        return builder, parse(builder, alternating(self.DEPTH))
+
+    def test_print_roundtrip(self, deep):
+        builder, regex = deep
+        before = sys.getrecursionlimit()
+        text = to_pattern(regex, builder.algebra)
+        assert parse(builder, text) is regex
+        assert sys.getrecursionlimit() == before
+
+    def test_smtlib_serialization(self, deep):
+        from repro.smtlib.writer import regex_to_smtlib
+
+        builder, regex = deep
+        term = regex_to_smtlib(regex, builder.algebra)
+        assert term.startswith("(re.++")
+
+    def test_structural_bounds(self, deep):
+        from repro.analysis.lengths import structural_max, structural_min
+
+        builder, regex = deep
+        assert structural_min(regex) == 2
+        assert structural_max(regex) == self.DEPTH + 1
+
+    def test_simplify(self, deep):
+        from repro.regex.simplify import simplify_fixpoint
+
+        builder, regex = deep
+        assert simplify_fixpoint(builder, regex) is regex
+
+    def test_depth_is_iterative_too(self, deep):
+        _, regex = deep
+        assert regex.depth() == 2 * self.DEPTH
+
+    def test_fold_postorder_memoizes_shared_subterms(self, ascii_builder):
+        from repro.regex.ast import fold_postorder
+
+        b = ascii_builder
+        # a DAG with exponential tree size: each level references the
+        # previous one twice through distinct wrappers
+        node = b.char("a")
+        for _ in range(60):
+            node = b.union([
+                b.concat([node, b.char("a")]),
+                b.concat([node, b.char("b")]),
+            ])
+        calls = []
+        total = fold_postorder(
+            node,
+            lambda n, kids: calls.append(n.uid) or (1 + sum(kids)),
+        )
+        # linearly many fn calls despite the 2^60-node tree reading
+        assert len(calls) <= 500
+        assert total > 2 ** 60
+
+
 class TestQuantifiedLoopRoundTrip:
     """The printer used to emit ``a{1,2}?`` for ``(a{1,2})?``, which
     re-parsed with the ``?`` swallowed as a lazy-quantifier marker."""

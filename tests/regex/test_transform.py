@@ -1,0 +1,48 @@
+"""Structural transforms: language-level reversal."""
+
+import random
+
+from repro.regex import parse, reverse, to_pattern
+from repro.regex.semantics import language_upto
+from repro.verify.campaign import RegexGen
+
+ALPHABET = "ab"
+
+
+def test_reverse_concat(ascii_builder):
+    b = ascii_builder
+    assert reverse(b, b.string("abc")) is b.string("cba")
+
+
+def test_reverse_fixes_symmetric_leaves(ascii_builder):
+    b = ascii_builder
+    for r in (b.epsilon, b.empty, b.full, b.dot, b.char("a")):
+        assert reverse(b, r) is r
+
+
+def test_reverse_distributes_over_boolean_structure(ascii_builder):
+    b = ascii_builder
+    r = parse(b, "(ab|0[01])&~(ab)")
+    want = parse(b, "(ba|[01]0)&~(ba)")
+    assert reverse(b, r) is want
+
+
+def test_reverse_is_an_involution(ascii_builder):
+    rng = random.Random(5)
+    gen = RegexGen(rng, ascii_builder, ALPHABET)
+    for _ in range(50):
+        r = gen.regex(rng.randint(1, 3))
+        assert reverse(ascii_builder, reverse(ascii_builder, r)) is r
+
+
+def test_reverse_reverses_the_language(ascii_builder):
+    b = ascii_builder
+    rng = random.Random(8)
+    gen = RegexGen(rng, b, ALPHABET)
+    for _ in range(30):
+        r = gen.regex(rng.randint(1, 2))
+        direct = language_upto(b.algebra, r, ALPHABET, 4)
+        rev = language_upto(b.algebra, reverse(b, r), ALPHABET, 4)
+        assert {w[::-1] for w in direct} == set(rev), to_pattern(
+            r, b.algebra
+        )

@@ -145,3 +145,33 @@ def test_multiple_assertions_conjoin(bmp_builder):
     )
     assert isinstance(script.formula, F.And)
     assert len(script.formula.children) == 2
+
+
+class TestLegacyEmptyRegex:
+    """Regression (tests/corpus/smt2-re-empty-is-empty-language): Z3 and
+    CVC4 benchmarks use ``re.empty`` for the empty *language* (the
+    SMT-LIB standard spells it ``re.none``); we used to read it as the
+    empty-string regex, flipping unsat scripts to sat."""
+
+    def test_re_empty_is_the_empty_language(self, bmp_builder):
+        b = bmp_builder
+        script = parse_formula(b, "(str.in_re x re.empty)")
+        assert script.assertions[0].regex is b.empty
+
+    def test_qualified_re_empty(self, bmp_builder):
+        b = bmp_builder
+        script = parse_formula(
+            b, "(str.in_re x (as re.empty (RegLan)))"
+        )
+        assert script.assertions[0].regex is b.empty
+
+    def test_epsilon_is_still_str_to_re_of_empty_string(self, bmp_builder):
+        b = bmp_builder
+        script = parse_formula(b, '(str.in_re x (str.to_re ""))')
+        assert script.assertions[0].regex is b.epsilon
+
+    def test_re_empty_script_solves_unsat(self, bmp_builder):
+        from repro.solver import SmtSolver
+
+        script = parse_formula(bmp_builder, "(str.in_re x re.empty)")
+        assert SmtSolver(bmp_builder).solve(script.formula).status == "unsat"

@@ -124,3 +124,57 @@ def test_unknown_branch_does_not_mask_sat(bitset_builder):
         inre(bitset_builder, "y", "b*"),
     ))
     assert solver.solve(f).is_sat
+
+
+class TestWitnessValidation:
+    """A sat verdict is only reported once the engine's witness has been
+    checked against both theories; a broken engine degrades to unknown
+    with a structured error instead of returning a bogus model."""
+
+    class BadWitnessEngine:
+        def __init__(self, witness):
+            self.witness = witness
+
+        def is_satisfiable(self, regex, budget=None):
+            from repro.solver.result import SolverResult
+
+            return SolverResult("sat", witness=self.witness)
+
+    def test_wrong_witness_maps_to_unknown(self, bitset_builder):
+        solver = SmtSolver(
+            bitset_builder, regex_engine=self.BadWitnessEngine("zzz")
+        )
+        result = solver.solve(inre(bitset_builder, "x", "a+"))
+        assert result.is_unknown
+        assert result.error is not None
+        assert "witness" in result.reason
+
+    def test_missing_witness_maps_to_unknown(self, bitset_builder):
+        solver = SmtSolver(
+            bitset_builder, regex_engine=self.BadWitnessEngine(None)
+        )
+        result = solver.solve(inre(bitset_builder, "x", "a+"))
+        assert result.is_unknown
+        assert result.error is not None
+
+    def test_length_atoms_are_checked_arithmetically(self, bitset_builder):
+        # the witness matches the regex but violates the length bound
+        # that was folded into it; the cross-theory check catches the
+        # inconsistency
+        solver = SmtSolver(
+            bitset_builder, regex_engine=self.BadWitnessEngine("aaa")
+        )
+        f = F.And((
+            inre(bitset_builder, "x", "a+"),
+            F.LenCmp("x", "<=", 2),
+        ))
+        result = solver.solve(f)
+        assert result.is_unknown
+
+    def test_healthy_engine_still_reports_sat(self, bitset_builder):
+        result = SmtSolver(bitset_builder).solve(
+            F.And((inre(bitset_builder, "x", "a+"),
+                   F.LenCmp("x", "<=", 2)))
+        )
+        assert result.is_sat
+        assert result.model["x"] in ("a", "aa")

@@ -1,0 +1,28 @@
+"""Tier-1 replay of the frozen-failure corpus.
+
+Every entry under ``tests/corpus/`` is a shrunk reproducer of a bug
+that was found by the verification campaigns (or by hand) and fixed;
+replaying them here makes every fix permanent.  ``make corpus-replay``
+runs just this module.
+"""
+
+import pytest
+
+from repro.verify.corpus import default_corpus_dir, load_all, replay_entry
+
+ENTRIES = load_all()
+
+
+def test_corpus_exists_and_is_nonempty():
+    assert ENTRIES, (
+        "no corpus entries under %s — the frozen reproducers are part "
+        "of the suite" % default_corpus_dir()
+    )
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[entry["id"] for entry in ENTRIES]
+)
+def test_corpus_entry_replays(entry):
+    ok, detail = replay_entry(entry)
+    assert ok, "%s regressed: %s" % (entry["id"], detail)

@@ -1,0 +1,112 @@
+"""Property tests for the bisimulation equivalence checker.
+
+Three oracles, on all three alphabet algebras:
+
+* agreement with ``RegexSolver.equivalent`` (symmetric-difference
+  emptiness) — two entirely different algorithms for one question;
+* metamorphic invariance: equivalence is preserved by reversal and by
+  complementation of both sides;
+* witness validity: a claimed distinguishing string must actually be
+  in exactly one of the two languages.
+"""
+
+import random
+
+import pytest
+
+from repro.alphabet import BDDAlgebra, BitsetAlgebra, IntervalAlgebra
+from repro.regex import RegexBuilder, reverse, to_pattern
+from repro.regex.semantics import Matcher
+from repro.solver import Budget, RegexSolver
+from repro.solver.equivalence import BisimulationChecker
+from repro.verify.campaign import RegexGen
+
+ALPHABET = "ab01"
+CASES = 25
+
+
+def _budget():
+    return Budget(fuel=300000, seconds=5)
+
+
+def _algebra(name):
+    if name == "interval":
+        return IntervalAlgebra(127)
+    if name == "bitset":
+        return BitsetAlgebra(ALPHABET + "z")
+    return BDDAlgebra(8)
+
+
+@pytest.fixture(params=["interval", "bitset", "bdd"])
+def builder(request):
+    return RegexBuilder(_algebra(request.param))
+
+
+def _pairs(builder, seed, count=CASES):
+    rng = random.Random(seed)
+    gen = RegexGen(rng, builder, ALPHABET)
+    for _ in range(count):
+        yield gen.regex(rng.randint(1, 3)), gen.regex(rng.randint(1, 3))
+
+
+def test_bisimulation_agrees_with_symmetric_difference(builder):
+    checker = BisimulationChecker(builder)
+    solver = RegexSolver(builder)
+    for left, right in _pairs(builder, seed=1):
+        bis = checker.equivalent(left, right, _budget())
+        ref = solver.equivalent(left, right, _budget())
+        if bis.status in ("sat", "unsat") and ref.status in ("sat", "unsat"):
+            assert bis.status == ref.status, (
+                to_pattern(left, builder.algebra),
+                to_pattern(right, builder.algebra),
+            )
+
+
+def test_distinguishing_witness_is_valid(builder):
+    checker = BisimulationChecker(builder)
+    matcher = Matcher(builder.algebra)
+    for left, right in _pairs(builder, seed=2):
+        result = checker.equivalent(left, right, _budget())
+        if result.status != "unsat" or result.witness is None:
+            continue
+        witness = result.witness
+        assert matcher.matches(left, witness) != \
+            matcher.matches(right, witness), (
+                to_pattern(left, builder.algebra),
+                to_pattern(right, builder.algebra), witness,
+            )
+
+
+def test_equivalence_invariant_under_reversal(builder):
+    checker = BisimulationChecker(builder)
+    for left, right in _pairs(builder, seed=3):
+        direct = checker.equivalent(left, right, _budget())
+        rev = checker.equivalent(
+            reverse(builder, left), reverse(builder, right), _budget()
+        )
+        if direct.status in ("sat", "unsat") and \
+                rev.status in ("sat", "unsat"):
+            assert direct.status == rev.status
+
+
+def test_equivalence_invariant_under_complement(builder):
+    checker = BisimulationChecker(builder)
+    for left, right in _pairs(builder, seed=4):
+        direct = checker.equivalent(left, right, _budget())
+        comp = checker.equivalent(
+            builder.compl(left), builder.compl(right), _budget()
+        )
+        if direct.status in ("sat", "unsat") and \
+                comp.status in ("sat", "unsat"):
+            assert direct.status == comp.status
+
+
+def test_self_equivalence_and_absorption(builder):
+    checker = BisimulationChecker(builder)
+    rng = random.Random(6)
+    gen = RegexGen(rng, builder, ALPHABET)
+    for _ in range(CASES):
+        regex = gen.regex(rng.randint(1, 3))
+        assert checker.equivalent(regex, regex, _budget()).status == "sat"
+        doubled = builder.union([regex, regex])
+        assert checker.equivalent(regex, doubled, _budget()).status == "sat"

@@ -1,0 +1,62 @@
+"""Campaign driver: determinism, clean runs, and bug detection."""
+
+import random
+
+from repro.alphabet import IntervalAlgebra
+from repro.regex import RegexBuilder, to_pattern
+from repro.verify.campaign import (
+    RegexGen, run_campaign, run_shard, search_mismatch, solver_findings,
+)
+
+
+def test_clean_campaign_inline():
+    report = run_campaign(seed=0, budget_seconds=5, jobs=1, max_cases=40)
+    assert report["cases"] == 40
+    assert report["findings"] == []
+    assert report["unexplained"] == 0
+
+
+def test_generator_is_deterministic():
+    def stream(seed):
+        builder = RegexBuilder(IntervalAlgebra(127))
+        gen = RegexGen(random.Random(seed), builder)
+        return [to_pattern(gen.regex(3), builder.algebra)
+                for _ in range(20)]
+
+    assert stream(7) == stream(7)
+    assert stream(7) != stream(8)
+
+
+def test_shard_respects_max_cases():
+    shard = run_shard((0, 60.0, 120000, 3.0, "ab01", 10))
+    assert shard["cases"] == 10
+    assert shard["seed"] == 0
+
+
+def test_solver_findings_empty_on_healthy_stack():
+    builder = RegexBuilder(IntervalAlgebra(127))
+    gen = RegexGen(random.Random(3), builder)
+    for _ in range(10):
+        assert solver_findings(builder, gen.regex(2)) == []
+
+
+def test_search_mismatch_none_on_fixed_matcher():
+    builder = RegexBuilder(IntervalAlgebra(127))
+    rng = random.Random(9)
+    gen = RegexGen(rng, builder)
+    texts = ["", "ab1", "b01a", "abba", "0110"]
+    for _ in range(15):
+        regex = gen.standard_regex(2)
+        assert search_mismatch(builder, regex, texts) is None
+
+
+def test_known_findings_are_explained(tmp_path):
+    # a finding whose shrunk pattern is frozen counts as explained;
+    # simulate by freezing first, then post-processing a fake report
+    from repro.verify.corpus import freeze
+
+    freeze({"id": "known", "kind": "sat", "pattern": "a+",
+            "expected": "sat"}, str(tmp_path))
+    report = run_campaign(seed=0, budget_seconds=2, jobs=1, max_cases=5,
+                          corpus_dir=str(tmp_path))
+    assert report["unexplained"] == len(report["findings"])

@@ -1,0 +1,55 @@
+"""Corpus freeze/load/replay machinery (on a scratch directory)."""
+
+from repro.verify.corpus import (
+    entry_pattern, freeze, load_all, replay_entry,
+)
+
+
+def test_freeze_load_roundtrip(tmp_path):
+    entry = {
+        "id": "scratch-sat",
+        "kind": "sat",
+        "description": "scratch entry",
+        "pattern": "a+",
+        "expected": "sat",
+    }
+    path = freeze(entry, str(tmp_path))
+    assert path.endswith("scratch-sat.json")
+    loaded = load_all(str(tmp_path))
+    assert loaded == [entry]
+
+
+def test_replay_each_kind(tmp_path):
+    good = [
+        {"id": "s1", "kind": "search", "pattern": "b+", "text": "abba",
+         "expected": [1, 2]},
+        {"id": "s2", "kind": "sat", "pattern": "a&b", "expected": "unsat"},
+        {"id": "s3", "kind": "smt2", "expected": "sat",
+         "script": '(declare-const x String)\n'
+                   '(assert (str.in_re x (re.+ (str.to_re "a"))))\n'},
+        {"id": "s4", "kind": "print", "pattern": "(a|b){2,3}&~(ab)"},
+    ]
+    for entry in good:
+        ok, detail = replay_entry(entry)
+        assert ok, (entry["id"], detail)
+
+
+def test_replay_detects_regression():
+    bad = {"id": "x", "kind": "search", "pattern": "a", "text": "ba",
+           "expected": [0, 1]}
+    ok, detail = replay_entry(bad)
+    assert not ok
+    assert "expected [0, 1]" in detail
+
+
+def test_repeat_spec_expansion():
+    entry = {"id": "deep", "kind": "print",
+             "repeat": {"prefix": "a(b|", "core": "a", "suffix": ")",
+                        "count": 3}}
+    assert entry_pattern(entry) == "a(b|a(b|a(b|a)))"
+    ok, detail = replay_entry(entry)
+    assert ok, detail
+
+
+def test_load_all_missing_directory(tmp_path):
+    assert load_all(str(tmp_path / "nope")) == []

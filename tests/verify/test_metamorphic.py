@@ -1,0 +1,58 @@
+"""Metamorphic identities hold on the real solver and catch a liar."""
+
+import random
+
+import pytest
+
+from repro.alphabet import IntervalAlgebra
+from repro.regex import RegexBuilder, parse
+from repro.solver.result import SolverResult
+from repro.verify.campaign import RegexGen
+from repro.verify.metamorphic import check_identities
+
+
+@pytest.fixture()
+def builder():
+    return RegexBuilder(IntervalAlgebra(127))
+
+
+@pytest.mark.parametrize("pattern", [
+    "a+", "(a|b)*01", "~(a*)&b+", "a{2,4}", "[]", "()", "~([])",
+    "(0|1)+&~(.*01.*)",
+])
+def test_identities_hold(builder, pattern):
+    assert check_identities(builder, parse(builder, pattern)) == []
+
+
+def test_identities_hold_on_random_regexes(builder):
+    rng = random.Random(11)
+    gen = RegexGen(rng, builder)
+    for _ in range(40):
+        regex = gen.regex(rng.randint(1, 3))
+        violations = check_identities(builder, regex)
+        assert violations == [], (regex, violations)
+
+
+def test_lying_solver_is_flagged(builder):
+    class Liar:
+        """Claims everything unsat; the derivative expansion of a sat
+        regex contradicts it."""
+
+        def is_satisfiable(self, regex, budget=None):
+            return SolverResult("unsat")
+
+        def equivalent(self, left, right, budget=None):
+            return SolverResult("sat")
+
+    # a *consistent* liar agrees with its own derivative expansion, but
+    # cannot satisfy the excluded middle: R | ~R is never unsat
+    violations = check_identities(
+        builder, parse(builder, "ab"), solver=Liar()
+    )
+    assert "compl-union" in {v.identity for v in violations}
+    # a nullable regex is sat with no solving at all: the expansion
+    # flags the lie even without derivatives
+    violations = check_identities(
+        builder, parse(builder, "a*"), solver=Liar()
+    )
+    assert any(v.identity == "derivative-expansion" for v in violations)

@@ -1,0 +1,79 @@
+"""Cross-engine oracle: consistency on healthy engines, detection of
+deliberately broken ones."""
+
+import pytest
+
+from repro.alphabet import IntervalAlgebra
+from repro.regex import RegexBuilder, parse
+from repro.solver.result import SolverResult
+from repro.verify.oracle import CrossEngineOracle, make_engines
+
+
+@pytest.fixture()
+def builder():
+    return RegexBuilder(IntervalAlgebra(127))
+
+
+@pytest.mark.parametrize("pattern", [
+    "a+", "(a|b)*01", "~(a*)&b+", "(0|1)+&~(.*01.*)", "a{2,4}", "[]",
+    "()", "~([])",
+])
+def test_healthy_engines_agree(builder, pattern):
+    oracle = CrossEngineOracle(builder)
+    assert oracle.check(parse(builder, pattern)) == []
+
+
+def test_verdict_disagreement_detected(builder):
+    class Liar:
+        def is_satisfiable(self, regex, budget=None):
+            return SolverResult("unsat")
+
+    engines = make_engines(builder)
+    engines["liar"] = Liar()
+    findings = CrossEngineOracle(builder, engines=engines).check(
+        parse(builder, "a+")
+    )
+    assert [f.kind for f in findings] == ["verdict"]
+    assert findings[0].verdicts["liar"] == "unsat"
+    assert findings[0].verdicts["dz3"] == "sat"
+
+
+def test_invalid_witness_detected(builder):
+    class BadWitness:
+        def is_satisfiable(self, regex, budget=None):
+            return SolverResult("sat", witness="zzz")
+
+    engines = make_engines(builder)
+    engines["bad"] = BadWitness()
+    findings = CrossEngineOracle(builder, engines=engines).check(
+        parse(builder, "a+")
+    )
+    assert [f.kind for f in findings] == ["witness"]
+    assert "zzz" in findings[0].detail
+
+
+def test_unknowns_are_not_disagreements(builder):
+    class Shrug:
+        def is_satisfiable(self, regex, budget=None):
+            return SolverResult("unknown", reason="always")
+
+    engines = make_engines(builder)
+    engines["shrug"] = Shrug()
+    assert CrossEngineOracle(builder, engines=engines).check(
+        parse(builder, "a+")
+    ) == []
+
+
+def test_finding_serializes(builder):
+    class Liar:
+        def is_satisfiable(self, regex, budget=None):
+            return SolverResult("unsat")
+
+    engines = make_engines(builder)
+    engines["liar"] = Liar()
+    finding = CrossEngineOracle(builder, engines=engines).check(
+        parse(builder, "a")
+    )[0]
+    as_dict = finding.to_dict()
+    assert as_dict["kind"] == "verdict"
+    assert as_dict["verdicts"]["liar"] == "unsat"

@@ -1,0 +1,60 @@
+"""Shrinker: preserves the failure predicate, reduces hard."""
+
+import random
+
+from repro.alphabet import IntervalAlgebra
+from repro.regex import RegexBuilder, parse, to_pattern
+from repro.regex.semantics import Matcher
+from repro.verify.campaign import RegexGen
+from repro.verify.shrink import _cost, candidates, shrink
+
+
+def test_shrinks_to_minimal_membership_reproducer():
+    builder = RegexBuilder(IntervalAlgebra(127))
+    big = parse(builder, "(x|ab1(0|1)*)&~(c+)|zz")
+    matcher = Matcher(builder.algebra)
+    predicate = lambda r: matcher.matches(r, "ab1")
+    small = shrink(builder, big, predicate)
+    assert predicate(small)
+    assert to_pattern(small, builder.algebra) == "ab1"
+
+
+def test_charclass_narrowing():
+    builder = RegexBuilder(IntervalAlgebra(127))
+    regex = parse(builder, "[ab01]{1,3}")
+    matcher = Matcher(builder.algebra)
+    small = shrink(builder, regex, lambda r: matcher.matches(r, "1"))
+    assert to_pattern(small, builder.algebra) == "1"
+
+
+def test_predicate_exceptions_count_as_gone():
+    builder = RegexBuilder(IntervalAlgebra(127))
+    regex = parse(builder, "ab")
+    full = parse(builder, "ab")
+
+    def fragile(candidate):
+        if candidate is not full:
+            raise RuntimeError("boom")
+        return True
+
+    assert shrink(builder, regex, fragile) is full
+
+
+def test_result_is_fixpoint_and_smaller():
+    builder = RegexBuilder(IntervalAlgebra(127))
+    rng = random.Random(5)
+    gen = RegexGen(rng, builder)
+    matcher = Matcher(builder.algebra)
+    for _ in range(20):
+        regex = gen.regex(rng.randint(2, 4))
+        predicate = lambda r: matcher.matches(r, "a")
+        if not predicate(regex):
+            continue
+        small = shrink(builder, regex, predicate)
+        assert predicate(small)
+        assert small.size() <= regex.size()
+        # 1-minimality: no cost-reducing rewrite of the result still
+        # reproduces the failure
+        for candidate in candidates(builder, small):
+            if _cost(builder, candidate) < _cost(builder, small):
+                assert not predicate(candidate)
