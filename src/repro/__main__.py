@@ -13,7 +13,15 @@ Commands:
 * ``batch PATH`` — batched solving of a directory of ``.smt2`` files
   or a ``.jsonl`` job file on a worker pool (``--jobs``, ``--retries``,
   ``--output results.jsonl``); exit 1 when any task errored, 2 when
-  any came back unknown, 0 otherwise;
+  any came back unknown, 0 otherwise.  With ``--flight-dir DIR`` the
+  batch records a flight: structured events, worker heartbeats, a
+  merged Chrome-trace timeline, and replayable slow-query artifacts
+  for tasks past ``--slow-threshold`` / ``--slow-explored``;
+* ``status DIR`` — render a flight directory as text: per-worker
+  lanes, latency quantiles, top slow queries, fleet incidents;
+* ``replay PATH`` — re-solve captured slow-query artifacts (one
+  artifact file, or every artifact of a flight directory) through the
+  same worker executor and diff the verdicts; exit 1 on any mismatch;
 * ``graph PATTERN`` — print the derivative graph (add ``--dot`` for
   Graphviz output);
 * ``verify`` — cross-engine differential verification: replay the
@@ -118,6 +126,48 @@ def build_parser():
                        metavar="N",
                        help="compact worker solver caches past N entries "
                             "instead of letting them grow unboundedly")
+    batch.add_argument("--flight-dir", metavar="DIR", default=None,
+                       help="record the batch as a flight: structured "
+                            "events, heartbeats, slow-query artifacts and "
+                            "a merged Chrome-trace timeline under DIR")
+    batch.add_argument("--slow-threshold", type=float, default=None,
+                       metavar="S",
+                       help="capture tasks slower than S seconds as "
+                            "replayable artifacts (default 1.0 when "
+                            "--flight-dir is set)")
+    batch.add_argument("--slow-explored", type=int, default=None,
+                       metavar="N",
+                       help="also capture tasks whose solver explored "
+                            "N or more derivative states")
+    batch.add_argument("--heartbeat", type=float, default=None,
+                       metavar="S",
+                       help="seconds between worker heartbeats "
+                            "(default 0.25)")
+    batch.add_argument("--trace-solver", action="store_true",
+                       help="also stream the solver's internal spans "
+                            "into the flight (slow; debugging mode)")
+
+    status = sub.add_parser(
+        "status",
+        help="render a flight directory: worker lanes, latency "
+             "quantiles, slow queries, incidents",
+    )
+    status.add_argument("flight_dir",
+                        help="flight directory recorded by "
+                             "batch --flight-dir")
+    status.add_argument("--top", type=int, default=5,
+                        help="slow queries to list (default 5)")
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-solve captured slow-query artifacts and diff the "
+             "verdicts against the recording",
+    )
+    replay.add_argument("path",
+                        help="a slow-query artifact .json, or a flight "
+                             "directory (replays every artifact in it)")
+    replay.add_argument("--json", action="store_true",
+                        help="emit one JSON comparison per artifact")
 
     graph = sub.add_parser("graph", help="print the derivative graph")
     graph.add_argument("pattern")
@@ -146,9 +196,39 @@ def build_parser():
     return parser
 
 
+def _hit_ratio(hits, misses):
+    """``(ratio_pct, lookups)`` or None when nothing was looked up."""
+    lookups = hits + misses
+    if not lookups:
+        return None
+    return 100.0 * hits / lookups, lookups
+
+
+def _cache_ratio_line(stats):
+    """The ``cache hit ratio`` line over the query's derivative and
+    meld memo counters, or None when the query did no memo lookups."""
+    ratio = _hit_ratio(
+        stats.get("deriv_memo_hits", 0) + stats.get("meld_memo_hits", 0),
+        stats.get("deriv_memo_misses", 0) + stats.get("meld_memo_misses", 0),
+    )
+    if ratio is None:
+        return None
+    pct, lookups = ratio
+    return ("cache hit ratio: %.1f%% (%d/%d memo lookups: deriv %d/%d, "
+            "meld %d/%d)") % (
+        pct,
+        stats.get("deriv_memo_hits", 0) + stats.get("meld_memo_hits", 0),
+        lookups,
+        stats.get("deriv_memo_hits", 0),
+        stats.get("deriv_memo_hits", 0) + stats.get("deriv_memo_misses", 0),
+        stats.get("meld_memo_hits", 0),
+        stats.get("meld_memo_hits", 0) + stats.get("meld_memo_misses", 0),
+    )
+
+
 def _stats_lines(result, obs):
-    """Render ``--stats`` output: per-query counters, then the metrics
-    snapshot (sorted, non-zero entries only)."""
+    """Render ``--stats`` output: per-query counters, the cache hit
+    ratio, then the metrics snapshot (sorted, non-zero entries only)."""
     lines = []
     stats = getattr(result, "stats", None) if result is not None else None
     if stats:
@@ -163,6 +243,9 @@ def _stats_lines(result, obs):
             lines.append("caches: " + " ".join(
                 "%s=%s" % (key, caches[key]) for key in sorted(caches)
             ))
+        ratio_line = _cache_ratio_line(stats)
+        if ratio_line:
+            lines.append(ratio_line)
     if obs is not None and obs.metrics.enabled:
         for name, value in sorted(obs.metrics.snapshot().items()):
             if value:
@@ -244,6 +327,17 @@ def main(argv=None):
             out.append("search: no match")
         else:
             out.append("search: span=%s group=%r" % (found.span(), found.group()))
+        if args.stats:
+            dfa = matcher.dfa
+            out.append(
+                "dfa: steps=%d states_built=%d row_hits=%d row_misses=%d"
+                % (dfa.steps, dfa.states_built, dfa.row_hits,
+                   dfa.row_misses)
+            )
+            ratio = _hit_ratio(dfa.row_hits, dfa.row_misses)
+            if ratio is not None:
+                out.append("cache hit ratio: %.1f%% (%d/%d row lookups)"
+                           % (ratio[0], dfa.row_hits, ratio[1]))
         status = 0
     elif args.command == "solve":
         if args.jobs > 1:
@@ -285,6 +379,9 @@ def main(argv=None):
             max_rss_mb=args.worker_max_rss_mb,
             max_cache_entries=args.worker_max_cache,
             compact_entries=args.worker_compact,
+            flight_dir=args.flight_dir, slow_s=args.slow_threshold,
+            slow_explored=args.slow_explored, heartbeat_s=args.heartbeat,
+            trace_solver=args.trace_solver,
         )
         for task in report.results:
             out.append(_task_line(task))
@@ -297,6 +394,46 @@ def main(argv=None):
             out.append("wrote %d results to %s"
                        % (len(report.results), args.output))
         status = _batch_status(report)
+    elif args.command == "status":
+        from repro.obs.flight import render_status
+
+        out.append(render_status(args.flight_dir, top=args.top))
+        status = 0
+    elif args.command == "replay":
+        import os
+
+        from repro.obs.flight import list_artifacts, replay_artifact
+
+        if os.path.isdir(args.path):
+            paths = list_artifacts(args.path)
+            if not paths:
+                print("replay: no slow-query artifacts under %s" % args.path,
+                      file=sys.stderr)
+                return 2
+        else:
+            paths = [args.path]
+        status = 0
+        mismatches = 0
+        for path in paths:
+            comparison = replay_artifact(path)
+            if not comparison["match"]:
+                mismatches += 1
+            if args.json:
+                out.append(json.dumps(comparison, sort_keys=True,
+                                      default=str))
+            else:
+                out.append("%s: recorded %s, replayed %s -> %s" % (
+                    comparison["name"], comparison["recorded"],
+                    comparison["replayed"],
+                    "ok" if comparison["match"] else "MISMATCH",
+                ))
+        if not args.json:
+            out.append("replayed %d artifact%s, %d mismatch%s" % (
+                len(paths), "" if len(paths) == 1 else "s",
+                mismatches, "" if mismatches == 1 else "es",
+            ))
+        if mismatches:
+            status = 1
     elif args.command == "graph":
         regex = parse(builder, args.pattern)
         render = graph_to_dot if args.dot else graph_to_text

@@ -31,13 +31,21 @@ class LazyDfa:
         #: cache statistics (exposed to the matching benchmarks)
         self.states_built = 0
         self.steps = 0
+        #: row-cache hit/miss counters: a hit is a transition row served
+        #: from ``_rows``, a miss is a row built from the derivative
+        #: engine (compaction turns former hits back into misses, which
+        #: is exactly the rebuild cost the ratio is meant to surface)
+        self.row_hits = 0
+        self.row_misses = 0
 
     def row(self, state):
         """The transition row of ``state``: disjoint (guard, target)
         pairs whose guards partition the alphabet."""
         cached = self._rows.get(state.uid)
         if cached is not None:
+            self.row_hits += 1
             return cached
+        self.row_misses += 1
         row = [
             (guard, self.builder.union(list(leaves)))
             for guard, leaves in self.engine.transitions(state)

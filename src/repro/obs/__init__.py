@@ -19,6 +19,10 @@ carries an :class:`Observability` bundle through every layer:
 instrumented hot paths cost one attribute lookup per event.
 """
 
+from repro.obs.events import (
+    EVENT_KINDS, EVENT_SCHEMA_VERSION, EventLog, NULL_EVENTS, NullEventLog,
+    read_events, validate_event,
+)
 from repro.obs.metrics import (
     Counter, Gauge, Histogram, MetricsRegistry,
     NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM, NULL_METRICS, NullMetrics,
@@ -36,15 +40,16 @@ from repro.obs.tracing import (
 class Observability:
     """The bundle threaded through solver, derivatives and algebras.
 
-    The default construction keeps metrics live and tracing off —
-    the recommended always-on configuration.
+    The default construction keeps metrics live, tracing off and the
+    structured event log off — the recommended always-on configuration.
     """
 
-    __slots__ = ("metrics", "tracer")
+    __slots__ = ("metrics", "tracer", "events")
 
-    def __init__(self, metrics=None, tracer=None):
+    def __init__(self, metrics=None, tracer=None, events=None):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.events = events if events is not None else NULL_EVENTS
 
     @classmethod
     def disabled(cls):
@@ -58,21 +63,27 @@ class Observability:
 
     @property
     def enabled(self):
-        return self.metrics.enabled or self.tracer.enabled
+        return (self.metrics.enabled or self.tracer.enabled
+                or self.events.enabled)
 
     def __repr__(self):
-        return "Observability(metrics=%s, tracing=%s)" % (
+        return "Observability(metrics=%s, tracing=%s, events=%s)" % (
             "on" if self.metrics.enabled else "off",
             "on" if self.tracer.enabled else "off",
+            "on" if self.events.enabled else "off",
         )
 
 
 #: The all-off singleton handed out by :meth:`Observability.disabled`.
-NULL_OBS = Observability(metrics=NULL_METRICS, tracer=NULL_TRACER)
+NULL_OBS = Observability(
+    metrics=NULL_METRICS, tracer=NULL_TRACER, events=NULL_EVENTS,
+)
 
 
 __all__ = [
     "Observability", "NULL_OBS",
+    "EventLog", "NullEventLog", "NULL_EVENTS",
+    "EVENT_KINDS", "EVENT_SCHEMA_VERSION", "read_events", "validate_event",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "NullMetrics", "NULL_METRICS", "NULL_COUNTER", "NULL_GAUGE",
     "NULL_HISTOGRAM",

@@ -1,0 +1,235 @@
+"""Structured solver events: the flight recorder's append-only log.
+
+Metrics aggregate and spans time, but neither *narrates*: when a pool
+of workers chews through a batch, the questions that matter mid-flight
+are "which job is worker 3 on", "when did that compaction fire", and
+"what was in flight when the process died".  An :class:`EventLog`
+answers them with a **typed, append-only JSONL stream** of discrete
+events, each stamped with the correlation fields that let per-process
+streams be merged into one cross-process timeline
+(:mod:`repro.obs.flight`):
+
+* ``v`` — the event schema version (:data:`EVENT_SCHEMA_VERSION`);
+* ``kind`` — one of :data:`EVENT_KINDS` (``task.start``,
+  ``cache.compaction``, ``worker.crash``, ...);
+* ``ts`` — epoch seconds (``time.time()``), comparable across
+  processes, unlike the tracer's per-process monotonic clock;
+* ``pid`` — the emitting process, the timeline's lane key;
+* ``worker`` — the pool-assigned worker id (``"w0"``...), or
+  ``"pool"`` for the parent;
+* ``job`` — the name of the job being solved, when one is in flight
+  (set via :meth:`EventLog.set_job` so solver-layer events correlate
+  without the solver knowing about jobs).
+
+Events are flushed line-by-line (the file handle is opened in append
+mode and flushed per event), so the log survives a SIGKILL up to the
+last completed write — the property the whole flight recorder exists
+for.  The :class:`NullEventLog` (:data:`NULL_EVENTS`) keeps the
+disabled path at one attribute lookup plus an empty call, the same
+contract as the null metrics/tracer backends.
+"""
+
+import json
+import os
+import time
+
+#: Version stamped on every event; bump when a kind's fields change
+#: incompatibly.  Readers skip events with a newer major version.
+EVENT_SCHEMA_VERSION = 1
+
+#: The known event kinds and the extra fields each is expected to
+#: carry (beyond the correlation envelope).  ``emit`` does not reject
+#: unknown kinds — forward compatibility matters more in a log than
+#: strictness — but :func:`validate_event` checks conformance and the
+#: tests hold every emitter to it.
+EVENT_KINDS = {
+    # solver.engine / solver.smt — one pair per query
+    "query.start": ("query",),
+    "query.end": ("query", "status", "elapsed"),
+    "smt.start": (),
+    "smt.end": ("status", "case_splits"),
+    # solver.lifecycle
+    "cache.compaction": ("retired", "entries_before", "entries_after"),
+    # serve.worker — the per-task narration
+    "worker.start": (),
+    "worker.exit": ("tasks", "retiring"),
+    "task.start": ("name", "task_kind", "index"),
+    "task.end": ("name", "index", "status", "elapsed"),
+    "slow.capture": ("name", "artifact", "elapsed"),
+    # serve.pool — fleet lifecycle, written by the parent
+    "pool.start": ("jobs", "workers"),
+    "pool.end": ("results",),
+    "worker.spawn": ("spawned",),
+    "worker.crash": ("crashed", "name"),
+    "worker.reap": ("reaped", "name"),
+    "worker.recycle": ("recycled",),
+    "task.retry": ("name", "index"),
+}
+
+
+class EventLog:
+    """Append-only structured event stream for one process.
+
+    ``path`` may be None for an in-memory log (events accumulate on
+    ``self.events`` only — what the unit tests use); with a path, every
+    event is additionally written and flushed as one JSONL line.
+    """
+
+    enabled = True
+
+    def __init__(self, path=None, worker=None, clock=time.time, pid=None,
+                 keep=True):
+        self.path = str(path) if path is not None else None
+        self.worker = worker
+        self.pid = pid if pid is not None else os.getpid()
+        self.job = None
+        self._clock = clock
+        #: in-memory copy of emitted events (disable with keep=False for
+        #: long-lived workers that only need the file)
+        self.events = [] if keep else None
+        self._handle = None
+        if self.path is not None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def set_job(self, job):
+        """Set (or clear, with None) the job correlation field stamped
+        on subsequent events."""
+        self.job = job
+
+    def emit(self, kind, **fields):
+        """Append one event; returns the event dict."""
+        event = {
+            "v": EVENT_SCHEMA_VERSION,
+            "kind": kind,
+            "ts": self._clock(),
+            "pid": self.pid,
+        }
+        if self.worker is not None:
+            event["worker"] = self.worker
+        if self.job is not None:
+            event["job"] = self.job
+        event.update(fields)
+        if self.events is not None:
+            self.events.append(event)
+        if self._handle is not None:
+            try:
+                self._handle.write(json.dumps(event, sort_keys=True,
+                                              default=str))
+                self._handle.write("\n")
+                self._handle.flush()
+            except (OSError, ValueError):  # pragma: no cover - disk gone
+                pass
+        return event
+
+    def close(self):
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "EventLog(worker=%r, path=%r)" % (self.worker, self.path)
+
+
+def validate_event(event):
+    """Check one event against the schema; returns a list of problems
+    (empty when conformant).  Unknown kinds are a problem — emitters
+    must register their kinds in :data:`EVENT_KINDS` — but unknown
+    *extra* fields are not."""
+    problems = []
+    if not isinstance(event, dict):
+        return ["event is not an object: %r" % (event,)]
+    for field in ("v", "kind", "ts", "pid"):
+        if field not in event:
+            problems.append("missing %r" % field)
+    if problems:
+        return problems
+    if event["v"] > EVENT_SCHEMA_VERSION:
+        problems.append("schema version %r is newer than %d"
+                        % (event["v"], EVENT_SCHEMA_VERSION))
+    kind = event["kind"]
+    required = EVENT_KINDS.get(kind)
+    if required is None:
+        problems.append("unknown kind %r" % (kind,))
+        return problems
+    for field in required:
+        if field not in event:
+            problems.append("%s missing %r" % (kind, field))
+    return problems
+
+
+def read_events(path, strict=False):
+    """Parse a JSONL event file back into a list of event dicts.
+
+    Events from a *newer* schema version are skipped (forward
+    compatibility); a truncated final line — the signature of a
+    SIGKILLed writer — is ignored rather than raised, unless
+    ``strict``.
+    """
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                if strict:
+                    raise ValueError(
+                        "%s:%d: bad JSON event line" % (path, lineno)
+                    )
+                continue  # torn final write from a killed process
+            if not isinstance(event, dict):
+                if strict:
+                    raise ValueError(
+                        "%s:%d: event is not an object" % (path, lineno)
+                    )
+                continue
+            if event.get("v", 0) > EVENT_SCHEMA_VERSION:
+                continue
+            events.append(event)
+    return events
+
+
+# -- the null backend ---------------------------------------------------------
+
+
+class NullEventLog:
+    """EventLog stand-in whose emits are no-ops."""
+
+    enabled = False
+    events = ()
+    path = None
+    worker = None
+    job = None
+
+    def set_job(self, job):
+        pass
+
+    def emit(self, kind, **fields):
+        return None
+
+    def close(self):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def __repr__(self):
+        return "NullEventLog()"
+
+
+NULL_EVENTS = NullEventLog()

@@ -40,10 +40,33 @@ def build_tree(events):
     root nodes ``{"event": e, "children": [...]}``; orphans whose parent
     never finished (and was not flushed) are promoted to roots so their
     time is still attributed.
+
+    A *merged* multi-worker stream interleaves several independent
+    single-threaded traces; events carrying a ``"pid"`` key are grouped
+    by it and each process's forest is reconstructed separately
+    (completion-order parenting across pids would adopt one worker's
+    spans into another's tree and corrupt every self time downstream).
     """
+    by_pid = {}
+    lanes = []
+    for event in span_events(events):
+        pid = event.get("pid")
+        lane = by_pid.get(pid)
+        if lane is None:
+            lane = by_pid[pid] = []
+            lanes.append(pid)
+        lane.append(event)
+    roots = []
+    for pid in lanes:
+        roots.extend(_build_tree_lane(by_pid[pid]))
+    return roots
+
+
+def _build_tree_lane(events):
+    """The single-stream reconstruction over one pid's events."""
     pending = {}
     roots = []
-    for event in span_events(events):
+    for event in events:
         depth = event["depth"]
         node = {"event": event, "children": pending.pop(depth + 1, [])}
         if depth == 0:
@@ -81,6 +104,18 @@ def _frame(name):
     return str(name).replace(";", ":").replace(" ", "_") or "(anonymous)"
 
 
+def _root_path(node):
+    """A root node's stack path; a pid-carrying root gets a synthetic
+    ``pid:<N>`` lane frame so merged multi-worker flamegraphs keep each
+    worker's stacks separate instead of folding them together."""
+    event = node["event"]
+    frame = (_frame(event["name"]),)
+    pid = event.get("pid")
+    if pid is None:
+        return frame
+    return ("pid:%s" % pid,) + frame
+
+
 def collapsed_stacks(events, scale=1e6):
     """The trace in collapsed-stack format, self time as the sample count.
 
@@ -91,8 +126,7 @@ def collapsed_stacks(events, scale=1e6):
     whose rounded self time is zero are dropped.
     """
     weights = {}
-    stack = [(node, (_frame(node["event"]["name"]),))
-             for node in reversed(build_tree(events))]
+    stack = [(node, _root_path(node)) for node in reversed(build_tree(events))]
     while stack:
         node, path = stack.pop()
         weights[path] = weights.get(path, 0.0) + self_time(node)
@@ -143,6 +177,11 @@ def hotspots(events, k=10):
     sorted by descending self time, where ``pct`` is the share of total
     traced wall time; the shares of *all* spans (not just the returned
     top-k) sum to 100 by construction.
+
+    Spans carrying a ``"pid"`` aggregate per ``(name, pid)`` and their
+    rows carry the pid — in a merged multi-worker stream one hot span
+    name is otherwise indistinguishable from N workers each mildly warm,
+    and a per-worker row is what localizes a single wedged process.
     """
     totals = {}
     wall = 0.0
@@ -150,20 +189,22 @@ def hotspots(events, k=10):
         event = node["event"]
         if event["depth"] == 0:
             wall += event["dur"]
-        name = event["name"]
-        cell = totals.setdefault(name, [0.0, 0])
+        key = (event["name"], event.get("pid"))
+        cell = totals.setdefault(key, [0.0, 0])
         cell[0] += self_time(node)
         cell[1] += 1
-    rows = [
-        {
+    rows = []
+    for (name, pid), cell in totals.items():
+        row = {
             "name": name,
             "self_s": cell[0],
             "count": cell[1],
             "pct": 100.0 * cell[0] / wall if wall else 0.0,
         }
-        for name, cell in totals.items()
-    ]
-    rows.sort(key=lambda r: (-r["self_s"], r["name"]))
+        if pid is not None:
+            row["pid"] = pid
+        rows.append(row)
+    rows.sort(key=lambda r: (-r["self_s"], r["name"], r.get("pid") or 0))
     return rows[:k]
 
 
@@ -188,8 +229,11 @@ def render_hotspots(events, k=10):
     wall = total_wall(events)
     lines = ["%-28s %10s %8s %7s" % ("span", "self(s)", "calls", "%wall")]
     for row in rows:
+        label = row["name"]
+        if "pid" in row:
+            label = "%s [pid %s]" % (label, row["pid"])
         lines.append("%-28s %10.4f %8d %6.1f%%" % (
-            row["name"], row["self_s"], row["count"], row["pct"],
+            label, row["self_s"], row["count"], row["pct"],
         ))
     covered = sum(r["pct"] for r in rows)
     lines.append("total traced wall: %.4fs (%.1f%% attributed to top %d spans)"

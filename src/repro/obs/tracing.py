@@ -145,14 +145,28 @@ class Tracer:
         return self.export_chrome(path)
 
 
-def chrome_trace(events):
+def chrome_trace(events, default_pid=0, default_tid=0, lanes=None):
     """Events rendered as a Chrome ``trace_event`` object.
 
     Spans become complete (``"ph": "X"``) events with microsecond
-    timestamps; instants become ``"ph": "i"``.  Everything lives on one
-    pid/tid, matching the solver's single-threaded execution.
+    timestamps; instants become ``"ph": "i"``.  An event carrying
+    ``"pid"``/``"tid"`` keys lands on that lane — how the flight
+    recorder renders each worker process as its own track — and events
+    without them land on ``default_pid``/``default_tid``, matching the
+    solver's single-threaded execution.  ``lanes`` optionally maps
+    ``pid -> display name``; each entry becomes a ``process_name``
+    metadata event so Perfetto labels the lanes.
     """
     trace_events = []
+    for pid, label in sorted((lanes or {}).items()):
+        trace_events.append({
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": str(label)},
+        })
     for event in events:
         args = dict(event.get("args") or {})
         if event.get("unfinished"):
@@ -161,8 +175,8 @@ def chrome_trace(events):
             "name": event["name"],
             "cat": "repro",
             "ts": event["ts"] * 1e6,
-            "pid": 0,
-            "tid": 0,
+            "pid": event.get("pid", default_pid),
+            "tid": event.get("tid", default_tid),
             "args": args,
         }
         if event.get("instant"):

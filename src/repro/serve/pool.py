@@ -65,21 +65,35 @@ class WorkerPool:
                  retries=1, reap_grace=DEFAULT_REAP_GRACE,
                  start_method=None, progress=None, max_tasks=None,
                  max_rss_mb=None, max_cache_entries=None,
-                 compact_entries=None):
+                 compact_entries=None, flight_dir=None, slow_s=None,
+                 slow_explored=None, heartbeat_s=None, trace_solver=False):
         if workers < 1:
             raise ValueError("need at least one worker")
         self.workers = workers
         self.retries = retries
         self.reap_grace = reap_grace
         self.progress = progress
+        if flight_dir is not None and slow_s is None and slow_explored is None:
+            # flight recording without an explicit threshold still
+            # captures: default to the latency trigger
+            from repro.obs.flight import DEFAULT_SLOW_S
+
+            slow_s = DEFAULT_SLOW_S
+        self.flight_dir = flight_dir
+        #: the pool-side flight recorder, live only while run() flies
+        self._flight = None
         # recycling watermarks (max_tasks / max_rss_mb / max_cache_
-        # entries) and the in-worker compaction policy travel to the
-        # workers through the shared config dict
+        # entries), the in-worker compaction policy and the flight-
+        # recorder configuration travel to the workers through the
+        # shared config dict
         self._config = {
             "fuel": fuel, "seconds": seconds, "max_char": max_char,
             "max_tasks": max_tasks, "max_rss_mb": max_rss_mb,
             "max_cache_entries": max_cache_entries,
             "compact_entries": compact_entries,
+            "flight_dir": str(flight_dir) if flight_dir else None,
+            "slow_s": slow_s, "slow_explored": slow_explored,
+            "heartbeat_s": heartbeat_s, "trace_solver": bool(trace_solver),
         }
         if start_method is None:
             import multiprocessing
@@ -102,6 +116,10 @@ class WorkerPool:
             daemon=True,
         )
         proc.start()
+        if self._flight is not None:
+            self._flight.events.emit(
+                "worker.spawn", spawned=worker_id, spawned_pid=proc.pid,
+            )
         return _Worker(worker_id, proc, task_q, result_q)
 
     def _discard(self, worker):
@@ -128,7 +146,15 @@ class WorkerPool:
         state = {
             "results": {}, "retries": 0, "worker_metrics": [],
             "stats_seen": 0, "recycled": 0, "worker_reports": [],
+            "heartbeats": [],
         }
+        if self.flight_dir is not None:
+            from repro.obs.flight import PoolFlight
+
+            self._flight = PoolFlight(self.flight_dir)
+            self._flight.events.emit(
+                "pool.start", jobs=total, workers=self.workers,
+            )
         fleet = [self._spawn() for _ in range(min(self.workers, max(total, 1)))]
         idle_deaths = 0
         try:
@@ -166,12 +192,16 @@ class WorkerPool:
                     time.sleep(_POLL_SLEEP)
         finally:
             worker_metrics = self._shutdown(fleet, state)
+            if self._flight is not None:
+                self._flight.finish(results=len(state["results"]))
+                self._flight = None
         wall = time.perf_counter() - started
         results = [state["results"][i] for i in sorted(state["results"])]
         return BatchReport(
             results, wall, self.workers, retries=state["retries"],
             worker_metrics=worker_metrics, recycled=state["recycled"],
             worker_reports=state["worker_reports"],
+            heartbeats=state["heartbeats"], flight_dir=self.flight_dir,
         )
 
     def _pump(self, worker, state):
@@ -208,6 +238,10 @@ class WorkerPool:
                 worker.deadline = None
             if self.progress is not None:
                 self.progress(len(state["results"]), None)
+        elif kind == "heartbeat":
+            state["heartbeats"].append(msg)
+            if self._flight is not None:
+                self._flight.record_heartbeat(msg)
         elif kind == "stats":
             state["worker_metrics"].append(msg.get("metrics") or {})
             state["worker_reports"].append({
@@ -223,6 +257,11 @@ class WorkerPool:
                 # shutdown barrier must not count this snapshot
                 worker.retiring = True
                 state["recycled"] += 1
+                if self._flight is not None:
+                    self._flight.events.emit(
+                        "worker.recycle", recycled=worker.id,
+                        reason=msg.get("reason"),
+                    )
             else:
                 state["stats_seen"] += 1
 
@@ -238,6 +277,11 @@ class WorkerPool:
             if alive:
                 return None
             self._discard(worker)
+            if self._flight is not None and not worker.retiring:
+                self._flight.events.emit(
+                    "worker.crash", crashed=worker.id, name=None,
+                    exitcode=worker.proc.exitcode, idle=True,
+                )
             if worker.retiring:
                 # planned retirement, stats already merged: replace it
                 # directly instead of counting an idle death
@@ -252,6 +296,11 @@ class WorkerPool:
             worker.proc.join(timeout=5.0)
             self._pump(worker, state)
             task = worker.task
+            if self._flight is not None:
+                self._flight.events.emit(
+                    "worker.reap", reaped=worker.id,
+                    name=task["name"] if task else None,
+                )
             if task is not None and task["index"] not in state["results"]:
                 budget = self._config.get("seconds")
                 state["results"][task["index"]] = TaskResult(
@@ -273,6 +322,12 @@ class WorkerPool:
             # crashed mid-task: maybe its result is already in the pipe
             self._pump(worker, state)
             task = worker.task
+            if self._flight is not None:
+                self._flight.events.emit(
+                    "worker.crash", crashed=worker.id,
+                    name=task["name"] if task else None,
+                    exitcode=worker.proc.exitcode,
+                )
             if task is not None and task["index"] not in state["results"]:
                 if worker.retiring:
                     # the dispatch raced a planned retirement: the task
@@ -283,6 +338,11 @@ class WorkerPool:
                     task["attempts"] += 1
                     state["retries"] += 1
                     pending.appendleft(task)
+                    if self._flight is not None:
+                        self._flight.events.emit(
+                            "task.retry", name=task["name"],
+                            index=task["index"],
+                        )
                 else:
                     state["results"][task["index"]] = TaskResult(
                         task["index"], task["name"], "error",
@@ -353,7 +413,9 @@ class WorkerPool:
 def solve_batch(jobs, workers=2, fuel=None, seconds=None, max_char=None,
                 retries=1, reap_grace=DEFAULT_REAP_GRACE, start_method=None,
                 progress=None, max_tasks=None, max_rss_mb=None,
-                max_cache_entries=None, compact_entries=None):
+                max_cache_entries=None, compact_entries=None,
+                flight_dir=None, slow_s=None, slow_explored=None,
+                heartbeat_s=None, trace_solver=False):
     """Solve ``jobs`` on a pool of ``workers`` processes.
 
     Returns a :class:`~repro.serve.report.BatchReport` with one
@@ -366,11 +428,24 @@ def solve_batch(jobs, workers=2, fuel=None, seconds=None, max_char=None,
     recycled``); ``compact_entries`` arms in-worker cache compaction.
     Verdicts are unaffected by any of them — a recycled worker merely
     restarts with cold caches.
+
+    ``flight_dir`` arms the flight recorder: per-process event/span
+    streams, worker heartbeats (``heartbeat_s`` between beats) and
+    slow-query artifacts for tasks past ``slow_s`` seconds or
+    ``slow_explored`` explored states land under that directory, plus
+    a merged ``timeline.json`` at batch end (see
+    :mod:`repro.obs.flight`).  The recorder keeps one task-level span
+    per job; ``trace_solver`` additionally streams the solver's
+    internal spans into the flight (markedly slower on derivative-heavy
+    queries — a debugging mode, not a default).  Verdicts are
+    unaffected by any of it.
     """
     pool = WorkerPool(
         workers=workers, fuel=fuel, seconds=seconds, max_char=max_char,
         retries=retries, reap_grace=reap_grace, start_method=start_method,
         progress=progress, max_tasks=max_tasks, max_rss_mb=max_rss_mb,
         max_cache_entries=max_cache_entries, compact_entries=compact_entries,
+        flight_dir=flight_dir, slow_s=slow_s, slow_explored=slow_explored,
+        heartbeat_s=heartbeat_s, trace_solver=trace_solver,
     )
     return pool.run(jobs)

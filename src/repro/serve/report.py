@@ -90,11 +90,13 @@ class BatchReport:
 
     __slots__ = (
         "results", "wall_s", "cpu_s", "workers", "retries", "counters",
-        "worker_metrics", "recycled", "worker_reports",
+        "worker_metrics", "recycled", "worker_reports", "heartbeats",
+        "flight_dir",
     )
 
     def __init__(self, results, wall_s, workers, retries=0,
-                 worker_metrics=None, recycled=0, worker_reports=None):
+                 worker_metrics=None, recycled=0, worker_reports=None,
+                 heartbeats=None, flight_dir=None):
         self.results = sorted(results, key=lambda r: r.index)
         self.wall_s = wall_s
         self.cpu_s = sum(r.elapsed for r in self.results)
@@ -105,6 +107,11 @@ class BatchReport:
         #: per-worker final reports (tasks done, retirement reason, RSS)
         #: from every cleanly-exiting worker, recycled or shut down
         self.worker_reports = list(worker_reports or ())
+        #: flight-recorder heartbeats in arrival order (arrival order is
+        #: per-worker order: each worker's beats ride one FIFO channel)
+        self.heartbeats = list(heartbeats or ())
+        #: the flight directory this batch recorded into, or None
+        self.flight_dir = flight_dir
         #: summed per-task solver counters (explored, sat_checks, ...)
         self.counters = {}
         for result in self.results:
@@ -128,8 +135,16 @@ class BatchReport:
     def errors(self):
         return [r for r in self.results if r.is_error]
 
+    def heartbeats_by_worker(self):
+        """Heartbeats grouped per worker id, each group preserving the
+        worker's own emission order."""
+        out = {}
+        for beat in self.heartbeats:
+            out.setdefault(beat.get("worker"), []).append(beat)
+        return out
+
     def to_dict(self):
-        return {
+        out = {
             "results": [r.to_dict() for r in self.results],
             "counts": self.counts,
             "wall_s": self.wall_s,
@@ -141,6 +156,10 @@ class BatchReport:
             "worker_metrics": dict(self.worker_metrics),
             "worker_reports": [dict(r) for r in self.worker_reports],
         }
+        if self.flight_dir is not None:
+            out["flight_dir"] = str(self.flight_dir)
+            out["heartbeats"] = len(self.heartbeats)
+        return out
 
     def summary_line(self):
         counts = self.counts
@@ -153,6 +172,10 @@ class BatchReport:
         )
         if self.recycled:
             line += " (%d recycled)" % self.recycled
+        if self.flight_dir is not None:
+            line += " | flight: %s (%d heartbeats)" % (
+                self.flight_dir, len(self.heartbeats)
+            )
         return line
 
     def __repr__(self):

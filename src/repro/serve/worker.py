@@ -52,7 +52,7 @@ def rss_bytes():
 class WorkerState:
     """The per-process solver stack (built once, reused per task)."""
 
-    def __init__(self, config):
+    def __init__(self, config, obs=None):
         max_char = config.get("max_char")
         algebra = (
             IntervalAlgebra(max_char) if max_char else IntervalAlgebra()
@@ -64,7 +64,10 @@ class WorkerState:
         )
         self.config = config
         self.builder = RegexBuilder(algebra)
-        self.obs = Observability()
+        # flight-recorded workers pass the recorder's bundle (live
+        # tracer + event log) so solver-layer spans/events land in the
+        # flight directory
+        self.obs = obs if obs is not None else Observability()
         self.regex_solver = RegexSolver(
             self.builder, obs=self.obs, compaction=policy
         )
@@ -205,13 +208,31 @@ def worker_main(worker_id, task_q, result_q, config):
     Retirement is the bounded-memory half of the pool contract: the
     worker announces it with the same final stats message as a clean
     shutdown (plus ``retiring``/``reason`` fields) and exits; the pool
-    merges its metrics and replaces it without charging a crash."""
-    state = WorkerState(config)
+    merges its metrics and replaces it without charging a crash.
+
+    With ``config["flight_dir"]`` set, the worker carries a
+    :class:`~repro.obs.flight.WorkerFlight`: its solver stack records
+    spans and structured events into the flight directory, a heartbeat
+    thread ships vitals up ``result_q``, and slow tasks freeze
+    replayable artifacts (see :mod:`repro.obs.flight`)."""
+    flight = None
+    flight_dir = config.get("flight_dir")
+    if flight_dir:
+        from repro.obs.flight import WorkerFlight
+
+        flight = WorkerFlight(flight_dir, worker_id, config)
+    state = WorkerState(
+        config, obs=flight.observability() if flight else None
+    )
+    if flight:
+        flight.start_heartbeats(state, result_q)
     retire_reason = None
     while True:
         task = task_q.get()
         if task is None:
             break
+        if flight:
+            flight.task_started(task)
         out = execute_task(state, task)
         out.update({
             "type": "result",
@@ -222,9 +243,15 @@ def worker_main(worker_id, task_q, result_q, config):
         })
         state.tasks_done += 1
         result_q.put(out)
+        if flight:
+            flight.task_finished(task, out)
         retire_reason = state.should_retire()
         if retire_reason is not None:
             break
+    if flight:
+        flight.close(tasks=state.tasks_done,
+                     retiring=retire_reason is not None,
+                     reason=retire_reason)
     result_q.put({
         "type": "stats",
         "worker": worker_id,

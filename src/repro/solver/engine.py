@@ -87,10 +87,36 @@ class RegexSolver:
         cache gauges and, when a compaction policy is armed, compacts
         everything unreachable from ``regex`` (and any pins).
         """
+        events = self.obs.events
+        if not events.enabled:
+            try:
+                return self._is_satisfiable(regex, budget)
+            finally:
+                self.state.end_query(keep=(regex,))
+        # flight-recorder narration: one start/end event pair per query,
+        # correlated by the hash-consed root's uid
+        query = "uid:%d" % regex.uid
+        events.emit("query.start", query=query)
+        started = time.perf_counter()
         try:
-            return self._is_satisfiable(regex, budget)
+            result = self._is_satisfiable(regex, budget)
+        except BaseException as exc:
+            events.emit(
+                "query.end", query=query, status="raised",
+                elapsed=time.perf_counter() - started,
+                error=type(exc).__name__,
+            )
+            raise
         finally:
             self.state.end_query(keep=(regex,))
+        stats = result.stats
+        events.emit(
+            "query.end", query=query, status=result.status,
+            elapsed=time.perf_counter() - started,
+            explored=getattr(stats, "explored", 0) or 0,
+            fuel_used=getattr(stats, "fuel_used", 0) or 0,
+        )
+        return result
 
     def _is_satisfiable(self, regex, budget):
         budget = budget or Budget()

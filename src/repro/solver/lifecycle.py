@@ -197,6 +197,10 @@ class EngineState:
             raise RuntimeError(
                 "cannot compact while the engine state is held"
             )
+        events = self.obs.events
+        entries_before = (
+            self.cache_sizes()["entries_total"] if events.enabled else 0
+        )
         live = self._mark(keep)
         report = {"live_regexes": len(live)}
         retired = self.builder_compact(live)
@@ -220,6 +224,13 @@ class EngineState:
         report["retired"] = retired
         self._c_compactions.inc()
         self._c_retired.inc(retired)
+        if events.enabled:
+            events.emit(
+                "cache.compaction", retired=retired,
+                entries_before=entries_before,
+                entries_after=self.cache_sizes()["entries_total"],
+                live_regexes=report["live_regexes"],
+            )
         return report
 
     def reset(self):

@@ -42,6 +42,19 @@ class SmtSolver:
     def solve(self, formula, budget=None):
         """Decide satisfiability; on SAT the result carries a model
         mapping each variable to a witness string."""
+        events = self.obs.events
+        events.emit("smt.start")
+        result = self._solve_held(formula, budget)
+        if events.enabled:
+            stats = result.stats or {}
+            events.emit(
+                "smt.end", status=result.status,
+                case_splits=stats.get("case_splits", 0)
+                if isinstance(stats, dict) else 0,
+            )
+        return result
+
+    def _solve_held(self, formula, budget):
         state = getattr(self.engine, "state", None)
         if state is None:
             return self._solve(formula, budget)

@@ -191,6 +191,70 @@ def test_unfinished_flush_still_attributes(tmp_path):
     outer.__exit__(None, None, None)
 
 
+def merged_two_pid_stream():
+    """Two workers' identically shaped traces, interleaved the way a
+    flight merge interleaves them (by timestamp across processes)."""
+    def worker(pid, t0):
+        return [
+            {"name": "deriv.tree", "ts": t0 + 1.0, "dur": 2.0, "depth": 1,
+             "args": {}, "pid": pid},
+            {"name": "solver.explore", "ts": t0, "dur": 4.0, "depth": 0,
+             "args": {}, "pid": pid},
+        ]
+
+    a, b = worker(100, 10.0), worker(200, 10.5)
+    # interleaved: a's child, b's child, a's root, b's root
+    return [a[0], b[0], a[1], b[1]]
+
+
+def test_build_tree_keys_parenting_by_pid():
+    """Regression: in a merged multi-worker stream, completion-order
+    parenting must not adopt one process's spans into another's tree.
+    Here each pid's ``deriv.tree`` completes right before the *other*
+    pid's root would claim it if pids were ignored."""
+    roots = build_tree(merged_two_pid_stream())
+    assert len(roots) == 2
+    for root in roots:
+        assert root["event"]["name"] == "solver.explore"
+        (child,) = root["children"]
+        assert child["event"]["name"] == "deriv.tree"
+        # the child belongs to its own process, not the interleaved one
+        assert child["event"]["pid"] == root["event"]["pid"]
+
+
+def test_hotspots_split_rows_per_pid():
+    rows = hotspots(merged_two_pid_stream())
+    by_key = {(r["name"], r.get("pid")): r for r in rows}
+    assert set(by_key) == {
+        ("solver.explore", 100), ("solver.explore", 200),
+        ("deriv.tree", 100), ("deriv.tree", 200),
+    }
+    # each worker's self times stay exact: 2s explore, 2s tree, per pid
+    for key, row in by_key.items():
+        assert row["self_s"] == pytest.approx(2.0), key
+    assert sum(r["pct"] for r in rows) == pytest.approx(100.0)
+    text = render_hotspots(merged_two_pid_stream())
+    assert "[pid 100]" in text and "[pid 200]" in text
+
+
+def test_collapsed_stacks_get_a_pid_lane_frame():
+    lines = collapsed_stacks(merged_two_pid_stream())
+    stacks = {line.rsplit(" ", 1)[0] for line in lines}
+    assert stacks == {
+        "pid:100;solver.explore", "pid:100;solver.explore;deriv.tree",
+        "pid:200;solver.explore", "pid:200;solver.explore;deriv.tree",
+    }
+
+
+def test_pidless_streams_keep_the_single_lane_shape():
+    """No pid key (the in-process tracer) means no synthetic lane
+    frames and no pid column — the original single-stream behavior."""
+    events = traced_solver_shape()
+    assert all("pid" not in r for r in hotspots(events))
+    assert all(not line.startswith("pid:")
+               for line in collapsed_stacks(events))
+
+
 def test_real_solver_trace_round_trips(tmp_path):
     """End to end: a real traced solve -> collapsed stacks -> file ->
     parse, with >= 90% of wall attributed to named spans."""

@@ -88,6 +88,51 @@ def test_chrome_trace_shape():
     assert event["pid"] == event["tid"] == 0
 
 
+def test_chrome_trace_pid_tid_lanes_and_labels():
+    """Events carrying pid/tid land on those lanes, and the ``lanes``
+    mapping emits ``process_name`` metadata so chrome://tracing labels
+    each process row."""
+    trace = chrome_trace(
+        [
+            {"name": "a", "ts": 0.0, "dur": 1.0, "depth": 0, "args": {},
+             "pid": 100, "tid": 7},
+            {"name": "b", "ts": 0.5, "dur": 1.0, "depth": 0, "args": {},
+             "pid": 200},
+            {"name": "bare", "ts": 0.6, "dur": 0.1, "depth": 0, "args": {}},
+        ],
+        lanes={100: "w0", 200: "w1"},
+    )
+    events = trace["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {(e["pid"], e["args"]["name"]) for e in meta} == {
+        (100, "w0"), (200, "w1"),
+    }
+    assert all(e["name"] == "process_name" and e["ts"] == 0 for e in meta)
+    spans = {e["name"]: e for e in events if e["ph"] == "X"}
+    assert spans["a"]["pid"] == 100 and spans["a"]["tid"] == 7
+    assert spans["b"]["pid"] == 200 and spans["b"]["tid"] == 0
+    # events without a pid fall back to the default lane
+    assert spans["bare"]["pid"] == 0
+
+
+def test_chrome_trace_concurrent_cross_process_spans():
+    """Two workers' overlapping spans export to one trace without the
+    lanes swallowing each other: same wall-clock window, distinct pids."""
+    overlapping = [
+        {"name": "solve", "ts": 0.0, "dur": 2.0, "depth": 0, "args": {},
+         "pid": 100},
+        {"name": "solve", "ts": 1.0, "dur": 2.0, "depth": 0, "args": {},
+         "pid": 200},
+    ]
+    events = chrome_trace(overlapping)["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(spans) == 2
+    windows = {e["pid"]: (e["ts"], e["ts"] + e["dur"]) for e in spans}
+    # both spans keep their full duration despite overlapping in time
+    assert windows[100] == (0.0, 2.0e6)
+    assert windows[200] == (1.0e6, 3.0e6)
+
+
 def test_read_chrome_rejects_malformed(tmp_path):
     path = tmp_path / "bad.json"
     path.write_text('{"traceEvents": [{"name": "x"}]}')

@@ -1,0 +1,149 @@
+"""The flight recorder end to end: a real worker pool recording into a
+flight directory — heartbeats on the report, distinct worker lanes in
+the merged timeline, crash narration, and slow-query capture/replay.
+
+These tests spawn real worker processes; the heartbeat interval is
+dropped to a few milliseconds so even the shortest batch records beats.
+"""
+
+import json
+import os
+
+from repro.obs.events import read_events
+from repro.obs.flight import (
+    events_path, list_artifacts, load_flight, replay_artifact,
+)
+from repro.serve import Job, solve_batch
+
+BUDGET = {"fuel": 200000, "seconds": 5.0}
+
+
+def run_flight(tmp_path, jobs, workers=2, **kwargs):
+    kwargs.setdefault("heartbeat_s", 0.01)
+    return solve_batch(
+        jobs, workers=workers, flight_dir=str(tmp_path), **BUDGET, **kwargs
+    )
+
+
+def test_batch_records_a_complete_flight(tmp_path):
+    jobs = [
+        Job("sat-0", "pattern", "a|b"),
+        Job("unsat-0", "pattern", "(.*a.{6})&(.*b.{6})"),
+        Job("sat-1", "pattern", "(ab){2,3}"),
+        Job("unsat-1", "pattern", "a&b"),
+    ]
+    report = run_flight(tmp_path, jobs, workers=2)
+    assert report.counts == {"sat": 2, "unsat": 2, "unknown": 0, "error": 0}
+    assert report.flight_dir == str(tmp_path)
+
+    # every worker that solved something heartbeated
+    beats = report.heartbeats_by_worker()
+    solved_on = {r.worker for r in report.results}
+    assert solved_on <= set(beats)
+    for worker, worker_beats in beats.items():
+        stamps = [b["ts"] for b in worker_beats]
+        assert stamps == sorted(stamps)  # per-worker order preserved
+        assert all(b["pid"] for b in worker_beats)
+    assert "flight:" in report.summary_line()
+    assert report.to_dict()["heartbeats"] == len(report.heartbeats)
+
+    flight = load_flight(str(tmp_path))
+    # the on-disk heartbeat ledger matches what the report carries
+    assert len(flight["heartbeats"]) == len(report.heartbeats)
+    # pool narration brackets the run
+    pool_kinds = [e["kind"] for e in read_events(
+        events_path(str(tmp_path), "pool")
+    )]
+    assert pool_kinds[0] == "pool.start" and pool_kinds[-1] == "pool.end"
+    assert pool_kinds.count("worker.spawn") == 2
+    # each task left its start/end pair in some worker's lane
+    ends = [e for e in flight["events"] if e["kind"] == "task.end"]
+    assert sorted(e["name"] for e in ends) == sorted(j.name for j in jobs)
+
+    # the merged timeline landed, with one lane per process plus the pool
+    with open(os.path.join(str(tmp_path), "timeline.json")) as handle:
+        trace = json.load(handle)
+    lanes = {
+        e["pid"]: e["args"]["name"] for e in trace["traceEvents"]
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    worker_pids = {pid for pid, label in lanes.items() if label != "pool"}
+    assert len(worker_pids) == 2
+    # solver spans from distinct worker processes share the one trace
+    span_pids = {
+        e["pid"] for e in trace["traceEvents"] if e.get("ph") == "X"
+    }
+    assert span_pids == worker_pids
+
+
+def test_slow_queries_are_captured_and_replay_to_same_verdict(tmp_path):
+    jobs = [
+        Job("fast", "pattern", "a"),
+        Job("slow-unsat", "pattern", "(.*a.{8})&(.*b.{8})"),
+    ]
+    # slow_explored=1: every non-trivial solve trips the derivative
+    # threshold deterministically (wall-clock thresholds flake in CI)
+    report = run_flight(tmp_path, jobs, workers=1, slow_explored=2)
+    assert report.counts["error"] == 0
+    artifacts = list_artifacts(str(tmp_path))
+    assert artifacts
+    statuses = {}
+    for path in artifacts:
+        comparison = replay_artifact(path)
+        assert comparison["match"] is True, comparison
+        statuses[comparison["name"]] = comparison["replayed"]
+    assert statuses.get("slow-unsat") == "unsat"
+    flight = load_flight(str(tmp_path))
+    captures = [e for e in flight["events"] if e["kind"] == "slow.capture"]
+    assert len(captures) == len(artifacts)
+
+
+def test_crashed_worker_is_narrated_and_survives_in_streams(tmp_path):
+    jobs = [
+        Job("before", "pattern", "a|b"),
+        Job("boom", "crash", "kill"),
+        Job("after", "pattern", "x*y"),
+    ]
+    report = run_flight(tmp_path, jobs, workers=2, retries=0)
+    by_name = {r.name: r for r in report.results}
+    assert by_name["boom"].status == "error"
+    assert by_name["before"].status == "sat"
+    assert by_name["after"].status == "sat"
+
+    flight = load_flight(str(tmp_path))
+    crashes = [e for e in flight["events"] if e["kind"] == "worker.crash"]
+    assert any(e.get("name") == "boom" for e in crashes)
+    # the killed worker's lane still shows the task that killed it: the
+    # dangling task.start survived because every write is line-flushed
+    starts = [e for e in flight["events"]
+              if e["kind"] == "task.start" and e["name"] == "boom"]
+    assert len(starts) == 1
+    # no task.end for it in that lane
+    ends = [e for e in flight["events"]
+            if e["kind"] == "task.end" and e["name"] == "boom"]
+    assert ends == []
+    # the timeline still merges after the crash
+    assert os.path.exists(os.path.join(str(tmp_path), "timeline.json"))
+
+
+def test_recycled_worker_is_narrated(tmp_path):
+    jobs = [Job("j%d" % i, "pattern", "a|b") for i in range(4)]
+    report = run_flight(tmp_path, jobs, workers=1, max_tasks=2)
+    assert report.recycled >= 1
+    assert report.counts["error"] == 0
+    flight = load_flight(str(tmp_path))
+    recycles = [e for e in flight["events"] if e["kind"] == "worker.recycle"]
+    assert len(recycles) == report.recycled
+    exits = [e for e in flight["events"]
+             if e["kind"] == "worker.exit" and e.get("retiring")]
+    assert len(exits) >= 1
+
+
+def test_no_flight_dir_means_no_recording(tmp_path):
+    report = solve_batch(
+        [Job("j", "pattern", "a")], workers=1, **BUDGET
+    )
+    assert report.flight_dir is None
+    assert report.heartbeats == []
+    assert "flight:" not in report.summary_line()
+    assert "flight_dir" not in report.to_dict()

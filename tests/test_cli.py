@@ -164,3 +164,85 @@ def test_batch_empty_path_is_usage_error(tmp_path, capsys):
     empty = tmp_path / "empty"
     empty.mkdir()
     assert main(["batch", str(empty)]) == 2
+
+
+def test_stats_prints_cache_hit_ratio(capsys):
+    status, out = run(capsys, "--ascii", "--stats", "check", "(a|b)*(ab)+")
+    assert status == 0
+    assert "cache hit ratio:" in out
+    assert "memo lookups" in out
+
+
+def test_match_stats_prints_dfa_row_ratio(capsys):
+    status, out = run(capsys, "--ascii", "--stats", "match", "(ab)*",
+                      "abababab")
+    assert status == 0
+    assert "dfa: steps=8" in out
+    assert "row_hits=6" in out and "row_misses=2" in out
+    assert "cache hit ratio: 75.0% (6/8 row lookups)" in out
+
+
+def flight_batch(capsys, tmp_path):
+    jsonl = tmp_path / "jobs.jsonl"
+    jsonl.write_text(
+        '{"name": "easy", "pattern": "a|b"}\n'
+        '{"name": "hard", "pattern": "(.*a.{6})&(.*b.{6})"}\n'
+    )
+    flight = tmp_path / "flight"
+    status, out = run(
+        capsys, "batch", str(jsonl), "--jobs", "2",
+        "--flight-dir", str(flight), "--slow-explored", "2",
+        "--heartbeat", "0.01",
+    )
+    return status, out, flight
+
+
+def test_batch_flight_dir_records_and_reports(capsys, tmp_path):
+    status, out, flight = flight_batch(capsys, tmp_path)
+    assert status == 0
+    assert "flight: %s" % flight in out
+    assert "heartbeats)" in out
+    assert (flight / "timeline.json").exists()
+    assert (flight / "heartbeats.jsonl").exists()
+    assert list((flight / "slow").glob("*.json"))
+
+
+def test_status_renders_the_flight(capsys, tmp_path):
+    _, _, flight = flight_batch(capsys, tmp_path)
+    status, out = run(capsys, "status", str(flight))
+    assert status == 0
+    assert out.startswith("flight ")
+    assert "latency:" in out
+    assert "slow queries" in out
+    assert "timeline:" in out
+
+
+def test_replay_flight_dir_exits_zero_on_matching_verdicts(capsys, tmp_path):
+    _, _, flight = flight_batch(capsys, tmp_path)
+    status, out = run(capsys, "replay", str(flight))
+    assert status == 0
+    assert "-> ok" in out
+    assert "0 mismatches" in out
+
+
+def test_replay_single_artifact_and_mismatch_exit(capsys, tmp_path):
+    import json as json_mod
+
+    _, _, flight = flight_batch(capsys, tmp_path)
+    artifact = sorted((flight / "slow").glob("*.json"))[0]
+    status, out = run(capsys, "replay", str(artifact), "--json")
+    assert status == 0
+    assert json_mod.loads(out.splitlines()[0])["match"] is True
+    # corrupt the recorded verdict: replay must flag it and exit 1
+    frozen = json_mod.loads(artifact.read_text())
+    frozen["status"] = "unknown"
+    artifact.write_text(json_mod.dumps(frozen))
+    status, out = run(capsys, "replay", str(artifact))
+    assert status == 1
+    assert "MISMATCH" in out
+
+
+def test_replay_empty_flight_is_usage_error(capsys, tmp_path):
+    empty = tmp_path / "empty-flight"
+    empty.mkdir()
+    assert main(["replay", str(empty)]) == 2
