@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Verdict-provenance smoke test: certificates for a mixed batch, the
+independent checker, and the overhead bound.
+
+Runs a mixed workload — sat and unsat patterns, a Boolean ``smt2``
+script, intersections, complements — with provenance enabled and
+asserts the explain layer's end-to-end contract:
+
+* every concrete verdict (sat or unsat) carries an explanation whose
+  certificate passes the independent checker;
+* certificates survive a JSON round trip and still check;
+* adversarial mutations (a widened minterm, a flipped nullability bit)
+  are rejected by the checker;
+* with provenance *off* (the default) the solver does no recording
+  work at all (the recorder is never constructed);
+* with provenance *on*, median solve wall time stays within the
+  documented bound (15%) of the default path on the same workload.
+
+Run by CI next to the tier-1 suite::
+
+    PYTHONPATH=src python scripts/smoke_explain.py
+"""
+
+import copy
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.alphabet import IntervalAlgebra
+from repro.obs.explain import (
+    certificate_from_json, certificate_to_json, check_certificate,
+)
+from repro.regex import RegexBuilder, parse
+from repro.smtlib.interp import run_script
+from repro.solver import Budget, RegexSolver
+from repro.solver.smt import SmtSolver
+
+#: The mixed workload: (name, pattern, expected status).
+PATTERNS = [
+    ("lit", "abc", "sat"),
+    ("star", "(ab)*c", "sat"),
+    ("isect-sat", r"(.*\d.*)&(.*a.*)", "sat"),
+    ("isect-unsat", "(ab)*&b.*", "unsat"),
+    ("empty-isect", "a&b", "unsat"),
+    ("classes", "ab&a[cd]", "unsat"),
+    ("compl", "~(a*)", "sat"),
+    ("compl-unsat", "a*&~(a*)", "unsat"),
+    ("counter", "(a|b){3,5}&.{4}", "sat"),
+    ("counter-unsat", "a{3}&a{5}", "unsat"),
+]
+
+SMT2 = (
+    '(declare-fun x () String)'
+    '(assert (str.in_re x (re.+ (str.to_re "ab"))))'
+    '(assert (str.in_re x (re.* (re.union (str.to_re "a")'
+    ' (str.to_re "b")))))(check-sat)'
+)
+
+BUDGET = {"fuel": 200000, "seconds": 10.0}
+OVERHEAD_BOUND = 0.15
+TIMING_REPEATS = 30
+
+#: The overhead workload: bench-tier queries that genuinely explore
+#: (dozens to hundreds of derivative states), like the quick bench
+#: problems the documented bound is stated for.  Trivial one-state
+#: patterns would measure the per-query constant, not the solver.
+TIMING_PATTERNS = [
+    "(.*a.{6})&(.*b.{6})",
+    "~(.*ab.*)&(a|b){8}",
+    r"(.*\d.*)&~(.*01.*)&.{6,10}",
+    "(ab|ba){4,6}&~(.*aa.*)",
+    "((a|b)*c){2}&.{8,12}",
+]
+
+
+def check(condition, message):
+    if not condition:
+        print("smoke_explain: FAIL: %s" % message, file=sys.stderr)
+        sys.exit(1)
+    print("  ok: %s" % message)
+
+
+def fresh_solver(explain):
+    builder = RegexBuilder(IntervalAlgebra(0xFFFF))
+    return builder, RegexSolver(builder, explain=explain)
+
+
+def smoke_certificates():
+    print("certificates: every concrete verdict proves itself")
+    builder, solver = fresh_solver(explain=True)
+    certs = {}
+    for name, pattern, expected in PATTERNS:
+        result = solver.is_satisfiable(
+            parse(builder, pattern), Budget(**BUDGET)
+        )
+        check(result.status == expected,
+              "%s solved %s" % (name, expected))
+        explanation = result.explanation
+        check(explanation is not None and explanation.certifiable(),
+              "%s carries a certifiable explanation" % name)
+        outcome = explanation.check()
+        check(outcome.ok,
+              "%s certificate passes the independent checker "
+              "(%d states, %d rows)"
+              % (name, outcome.states_checked, outcome.rows_checked))
+        certs[name] = explanation.certificate()
+    return certs
+
+
+def smoke_smt():
+    print("smt: Boolean verdicts carry per-variable certificates")
+    builder, engine = fresh_solver(explain=True)
+    solver = SmtSolver(builder, engine)
+    result = run_script(builder, SMT2, solver=solver,
+                        budget=Budget(**BUDGET))
+    check(result.status == "sat", "smt2 script solved sat")
+    explanation = result.explanation
+    check(explanation is not None and explanation.certifiable(),
+          "smt verdict carries an explanation")
+    check(explanation.check().ok,
+          "every per-variable certificate checks")
+
+
+def smoke_round_trip(certs):
+    print("round trip: certificates survive JSON")
+    for name, cert in certs.items():
+        back = certificate_from_json(certificate_to_json(cert))
+        check(check_certificate(back).ok,
+              "%s checks after a JSON round trip" % name)
+
+
+def smoke_adversarial(certs):
+    print("adversarial: forged certificates are rejected")
+    cert = copy.deepcopy(certs["classes"])   # >= 2 states, >= 3 rows
+    victim = max(cert["states"], key=lambda s: len(s.get("rows") or ()))
+    victim["rows"][-1]["guard"] = [[0, 0xFFFF]]
+    check(not check_certificate(cert).ok, "widened minterm rejected")
+    cert = copy.deepcopy(certs["empty-isect"])
+    cert["states"][0]["nullable"] = True
+    check(not check_certificate(cert).ok, "flipped nullability rejected")
+
+
+def _sample(explain, samples):
+    builder, solver = fresh_solver(explain=explain)
+    regexes = [parse(builder, p) for p in TIMING_PATTERNS]
+    for regex in regexes:
+        started = time.perf_counter()
+        solver.is_satisfiable(regex, Budget(**BUDGET))
+        samples.append(time.perf_counter() - started)
+
+
+def median_overheads():
+    # a fresh solver per repeat: cold caches are the representative
+    # case — a warm memo table answers from cache and makes *any*
+    # fixed per-row cost look huge in relative terms.  Repeats are
+    # interleaved so clock drift and allocator state hit both paths
+    # equally, and every solve is timed individually: the median over
+    # repeats x patterns samples is what the documented bound is
+    # stated for.
+    off, on = [], []
+    for _ in range(TIMING_REPEATS):
+        _sample(False, off)
+        _sample(True, on)
+    off.sort()
+    on.sort()
+    return sum(off) / len(off), sum(on) / len(on), \
+        off[len(off) // 2], on[len(on) // 2]
+
+
+def smoke_overhead():
+    print("overhead: default off costs nothing, on stays in bound")
+    builder, solver = fresh_solver(explain=False)
+    check(solver.explain is False, "provenance is off by default")
+    result = solver.is_satisfiable(
+        parse(builder, "a|b"), Budget(**BUDGET)
+    )
+    check(result.explanation is None,
+          "no recorder runs on the default path")
+    # warm both paths once, then compare on the same workload; the
+    # median is the headline number, the mean is reported for context
+    _sample(False, [])
+    _sample(True, [])
+    mean_off, mean_on, base, on = median_overheads()
+    ratio = (on - base) / base if base > 0 else 0.0
+    check(ratio <= OVERHEAD_BOUND,
+          "enabled overhead %.1f%% within %.0f%% bound "
+          "(median off %.2fms on %.2fms; mean off %.2fms on %.2fms)"
+          % (ratio * 100.0, OVERHEAD_BOUND * 100.0, base * 1e3, on * 1e3,
+             mean_off * 1e3, mean_on * 1e3))
+
+
+def main():
+    certs = smoke_certificates()
+    smoke_smt()
+    smoke_round_trip(certs)
+    smoke_adversarial(certs)
+    smoke_overhead()
+    print("smoke_explain: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

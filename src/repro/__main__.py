@@ -24,6 +24,11 @@ Commands:
   same worker executor and diff the verdicts; exit 1 on any mismatch;
 * ``graph PATTERN`` — print the derivative graph (add ``--dot`` for
   Graphviz output);
+* ``explain PATTERN`` — solve with provenance recording: prints the
+  step-by-step explanation (sat witness path or unsat closure),
+  re-verifies the certificate with the independent checker (skip with
+  ``--no-check``), and exports it via ``--json FILE`` /
+  ``--dot FILE``;
 * ``verify`` — cross-engine differential verification: replay the
   frozen corpus under ``tests/corpus/`` and run a seeded, budgeted
   fuzz campaign (``--seed``, ``--budget``, ``--jobs``) that diffs all
@@ -68,6 +73,11 @@ def build_parser():
                         help="wall clock budget (default 60)")
     parser.add_argument("--stats", action="store_true",
                         help="print per-query stats and the metrics snapshot")
+    parser.add_argument("--explain", action="store_true",
+                        help="record verdict provenance (witness path / "
+                             "unsat closure); --stats then prints the "
+                             "one-line explanation summary (implied by "
+                             "the explain command)")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="record spans to FILE (.jsonl for JSONL, "
                              "anything else for Chrome trace_event)")
@@ -174,6 +184,21 @@ def build_parser():
     graph.add_argument("--dot", action="store_true")
     graph.add_argument("--max-states", type=int, default=50)
 
+    explain = sub.add_parser(
+        "explain",
+        help="solve a pattern with provenance recording, print the "
+             "step-by-step explanation, and re-verify the certificate "
+             "with the independent checker",
+    )
+    explain.add_argument("pattern")
+    explain.add_argument("--dot", metavar="FILE", default=None,
+                         help="write a Graphviz view (witness path / "
+                              "unsat closure highlighted) to FILE")
+    explain.add_argument("--json", metavar="FILE", default=None,
+                         help="write the full JSON certificate to FILE")
+    explain.add_argument("--no-check", action="store_true",
+                         help="skip the independent certificate check")
+
     verify = sub.add_parser(
         "verify",
         help="cross-engine differential verification: fuzz all four "
@@ -246,6 +271,9 @@ def _stats_lines(result, obs):
         ratio_line = _cache_ratio_line(stats)
         if ratio_line:
             lines.append(ratio_line)
+    explanation = getattr(result, "explanation", None)
+    if explanation is not None:
+        lines.append("explanation: " + explanation.summary())
     if obs is not None and obs.metrics.enabled:
         for name, value in sorted(obs.metrics.snapshot().items()):
             if value:
@@ -264,6 +292,13 @@ def _task_line(task):
         line += "  witness=%r" % task.witness
     if task.error:
         line += "  [%s: %s]" % (task.error["type"], task.error["message"])
+    explanation = getattr(task, "explanation", None)
+    if explanation is not None:
+        checked = explanation.get("certificate_checked")
+        if checked is False:
+            line += "  [CERTIFICATE REJECTED]"
+        elif checked is True:
+            line += "  [certified]"
     return line
 
 
@@ -288,14 +323,14 @@ def main(argv=None):
     result = None
 
     if args.command == "check":
-        solver = RegexSolver(builder, obs=obs)
+        solver = RegexSolver(builder, obs=obs, explain=args.explain)
         result = solver.is_satisfiable(parse(builder, args.pattern), budget())
         out.append(result.status)
         if result.is_sat:
             out.append("witness: %r" % result.witness)
         status = 0 if not result.is_unknown else 2
     elif args.command == "contains":
-        solver = RegexSolver(builder, obs=obs)
+        solver = RegexSolver(builder, obs=obs, explain=args.explain)
         result = solver.contains(
             parse(builder, args.sub), parse(builder, args.sup), budget()
         )
@@ -307,7 +342,7 @@ def main(argv=None):
             out.append("unknown (%s)" % result.reason)
         status = 0 if not result.is_unknown else 2
     elif args.command == "equiv":
-        solver = RegexSolver(builder, obs=obs)
+        solver = RegexSolver(builder, obs=obs, explain=args.explain)
         result = solver.equivalent(
             parse(builder, args.left), parse(builder, args.right), budget()
         )
@@ -353,7 +388,9 @@ def main(argv=None):
             status = _batch_status(report)
         else:
             status = 0
-            smt = SmtSolver(builder, RegexSolver(builder, obs=obs))
+            smt = SmtSolver(
+                builder, RegexSolver(builder, obs=obs, explain=args.explain)
+            )
             for path in args.files:
                 result = run_file(builder, path, solver=smt, budget=budget())
                 line = "%s: %s" % (path, result.status)
@@ -381,7 +418,7 @@ def main(argv=None):
             compact_entries=args.worker_compact,
             flight_dir=args.flight_dir, slow_s=args.slow_threshold,
             slow_explored=args.slow_explored, heartbeat_s=args.heartbeat,
-            trace_solver=args.trace_solver,
+            trace_solver=args.trace_solver, explain=args.explain,
         )
         for task in report.results:
             out.append(_task_line(task))
@@ -439,6 +476,43 @@ def main(argv=None):
         render = graph_to_dot if args.dot else graph_to_text
         out.append(render(builder, regex, max_states=args.max_states))
         status = 0
+    elif args.command == "explain":
+        from repro.obs.explain import CertificateError, certificate_to_json
+        from repro.visualize import render_explanation
+
+        solver = RegexSolver(builder, obs=obs, explain=True)
+        result = solver.is_satisfiable(parse(builder, args.pattern), budget())
+        explanation = result.explanation
+        status = 0 if not result.is_unknown else 2
+        if not args.no_check and explanation.certifiable():
+            outcome = explanation.check()
+            if not outcome.ok:
+                status = 1
+                out.append("CERTIFICATE REJECTED by the independent checker:")
+                out.extend("  " + err for err in outcome.errors)
+        out.append(explanation.narrative())
+        for path, render_cert in (
+            (args.json, lambda: certificate_to_json(
+                explanation.certificate(), indent=2)),
+            (args.dot, lambda: render_explanation(explanation)),
+        ):
+            if not path:
+                continue
+            if path is args.json and not explanation.certifiable():
+                print("explain: no certificate for a %s verdict"
+                      % explanation.kind, file=sys.stderr)
+                status = status or 2
+                continue
+            try:
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(render_cert())
+                    handle.write("\n")
+            except (OSError, CertificateError) as exc:
+                print("explain: cannot write %s: %s" % (path, exc),
+                      file=sys.stderr)
+                status = status or 1
+            else:
+                out.append("wrote %s" % path)
     elif args.command == "verify":
         from repro.verify import load_all, replay_entry, run_campaign
 

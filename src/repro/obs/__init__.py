@@ -19,6 +19,11 @@ carries an :class:`Observability` bundle through every layer:
 instrumented hot paths cost one attribute lookup per event.
 """
 
+from repro.obs.explain import (
+    CERT_SCHEMA_VERSION, CertificateError, CheckResult, ExplainRecorder,
+    Explanation, SmtExplanation, check_certificate, explain_pattern,
+    explain_witness,
+)
 from repro.obs.events import (
     EVENT_KINDS, EVENT_SCHEMA_VERSION, EventLog, NULL_EVENTS, NullEventLog,
     read_events, validate_event,
@@ -82,6 +87,9 @@ NULL_OBS = Observability(
 
 __all__ = [
     "Observability", "NULL_OBS",
+    "CERT_SCHEMA_VERSION", "CertificateError", "CheckResult",
+    "ExplainRecorder", "Explanation", "SmtExplanation",
+    "check_certificate", "explain_pattern", "explain_witness",
     "EventLog", "NullEventLog", "NULL_EVENTS",
     "EVENT_KINDS", "EVENT_SCHEMA_VERSION", "read_events", "validate_event",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",

@@ -440,9 +440,24 @@ def capture_artifact(flight_dir, task, out, config, worker=None, pid=None,
         "pid": pid,
         "captured": time.time(),
     }
-    for key in ("witness", "model", "reason", "error", "stats", "outcome"):
+    for key in ("witness", "model", "reason", "error", "stats", "outcome",
+                "explanation"):
         if out.get(key) is not None:
             artifact[key] = out[key]
+    if artifact.get("status") in ("sat", "unsat"):
+        # a slow concrete verdict is exactly the one worth a proof:
+        # re-solve with provenance on (same budget) and embed the
+        # checked certificate.  Never let enrichment break capture.
+        try:
+            from repro.obs.explain import certificate_for_task
+
+            cert = certificate_for_task(
+                task.get("kind"), task.get("payload"), config
+            )
+            if cert is not None and cert.get("status") == artifact["status"]:
+                artifact["certificate"] = cert
+        except Exception:
+            pass
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(artifact, handle, indent=1, sort_keys=True, default=str)
         handle.write("\n")

@@ -66,7 +66,8 @@ class WorkerPool:
                  start_method=None, progress=None, max_tasks=None,
                  max_rss_mb=None, max_cache_entries=None,
                  compact_entries=None, flight_dir=None, slow_s=None,
-                 slow_explored=None, heartbeat_s=None, trace_solver=False):
+                 slow_explored=None, heartbeat_s=None, trace_solver=False,
+                 explain=False):
         if workers < 1:
             raise ValueError("need at least one worker")
         self.workers = workers
@@ -94,6 +95,7 @@ class WorkerPool:
             "flight_dir": str(flight_dir) if flight_dir else None,
             "slow_s": slow_s, "slow_explored": slow_explored,
             "heartbeat_s": heartbeat_s, "trace_solver": bool(trace_solver),
+            "explain": bool(explain),
         }
         if start_method is None:
             import multiprocessing
@@ -232,6 +234,7 @@ class WorkerPool:
                 elapsed=msg.get("elapsed", 0.0), worker=msg.get("worker"),
                 attempts=msg.get("attempts", 1), stats=msg.get("stats"),
                 outcome=msg.get("outcome"),
+                explanation=msg.get("explanation"),
             )
             if worker.task is not None and worker.task["index"] == index:
                 worker.task = None
@@ -415,7 +418,7 @@ def solve_batch(jobs, workers=2, fuel=None, seconds=None, max_char=None,
                 progress=None, max_tasks=None, max_rss_mb=None,
                 max_cache_entries=None, compact_entries=None,
                 flight_dir=None, slow_s=None, slow_explored=None,
-                heartbeat_s=None, trace_solver=False):
+                heartbeat_s=None, trace_solver=False, explain=False):
     """Solve ``jobs`` on a pool of ``workers`` processes.
 
     Returns a :class:`~repro.serve.report.BatchReport` with one
@@ -439,6 +442,12 @@ def solve_batch(jobs, workers=2, fuel=None, seconds=None, max_char=None,
     internal spans into the flight (markedly slower on derivative-heavy
     queries — a debugging mode, not a default).  Verdicts are
     unaffected by any of it.
+
+    ``explain`` turns on verdict provenance in every worker: each
+    concrete pattern/smt2 verdict carries a certificate that the
+    worker re-checks with the independent checker before reporting,
+    and each task result gains an ``explanation`` summary (``report.
+    certified`` counts the checked ones).  Verdicts are unaffected.
     """
     pool = WorkerPool(
         workers=workers, fuel=fuel, seconds=seconds, max_char=max_char,
@@ -446,6 +455,6 @@ def solve_batch(jobs, workers=2, fuel=None, seconds=None, max_char=None,
         progress=progress, max_tasks=max_tasks, max_rss_mb=max_rss_mb,
         max_cache_entries=max_cache_entries, compact_entries=compact_entries,
         flight_dir=flight_dir, slow_s=slow_s, slow_explored=slow_explored,
-        heartbeat_s=heartbeat_s, trace_solver=trace_solver,
+        heartbeat_s=heartbeat_s, trace_solver=trace_solver, explain=explain,
     )
     return pool.run(jobs)

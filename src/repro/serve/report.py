@@ -17,12 +17,12 @@ class TaskResult:
 
     __slots__ = (
         "index", "name", "status", "witness", "model", "reason", "error",
-        "elapsed", "worker", "attempts", "stats", "outcome",
+        "elapsed", "worker", "attempts", "stats", "outcome", "explanation",
     )
 
     def __init__(self, index, name, status, witness=None, model=None,
                  reason=None, error=None, elapsed=0.0, worker=None,
-                 attempts=1, stats=None, outcome=None):
+                 attempts=1, stats=None, outcome=None, explanation=None):
         self.index = index
         self.name = name
         self.status = status
@@ -35,6 +35,9 @@ class TaskResult:
         self.attempts = attempts
         self.stats = stats if stats is not None else {}
         self.outcome = outcome      # harness outcome for bench jobs
+        #: provenance summary dict from an explain-enabled worker
+        #: (``{"kind", ..., "certificate_checked"}``) or None
+        self.explanation = explanation
 
     @property
     def is_error(self):
@@ -49,7 +52,8 @@ class TaskResult:
             "worker": self.worker,
             "attempts": self.attempts,
         }
-        for key in ("witness", "model", "reason", "error", "outcome"):
+        for key in ("witness", "model", "reason", "error", "outcome",
+                    "explanation"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
@@ -135,6 +139,26 @@ class BatchReport:
     def errors(self):
         return [r for r in self.results if r.is_error]
 
+    @property
+    def certified(self):
+        """Counts of explained verdicts: ``checked`` passed the
+        independent checker in the worker, ``rejected`` failed it
+        (a rejected certificate on an otherwise clean batch is a bug
+        report), ``unchecked`` carried no checkable certificate."""
+        out = {"checked": 0, "rejected": 0, "unchecked": 0}
+        for result in self.results:
+            explanation = result.explanation
+            if explanation is None:
+                continue
+            verdict = explanation.get("certificate_checked")
+            if verdict is True:
+                out["checked"] += 1
+            elif verdict is False:
+                out["rejected"] += 1
+            else:
+                out["unchecked"] += 1
+        return out
+
     def heartbeats_by_worker(self):
         """Heartbeats grouped per worker id, each group preserving the
         worker's own emission order."""
@@ -152,6 +176,7 @@ class BatchReport:
             "workers": self.workers,
             "retries": self.retries,
             "recycled": self.recycled,
+            "certified": self.certified,
             "counters": dict(self.counters),
             "worker_metrics": dict(self.worker_metrics),
             "worker_reports": [dict(r) for r in self.worker_reports],
@@ -172,6 +197,11 @@ class BatchReport:
         )
         if self.recycled:
             line += " (%d recycled)" % self.recycled
+        certified = self.certified
+        if any(certified.values()):
+            line += " | certificates: %d checked, %d rejected" % (
+                certified["checked"], certified["rejected"]
+            )
         if self.flight_dir is not None:
             line += " | flight: %s (%d heartbeats)" % (
                 self.flight_dir, len(self.heartbeats)

@@ -69,7 +69,8 @@ class WorkerState:
         # flight directory
         self.obs = obs if obs is not None else Observability()
         self.regex_solver = RegexSolver(
-            self.builder, obs=self.obs, compaction=policy
+            self.builder, obs=self.obs, compaction=policy,
+            explain=bool(config.get("explain")),
         )
         self.smt_solver = SmtSolver(self.builder, self.regex_solver)
         self.tasks_done = 0
@@ -104,6 +105,24 @@ def _result_stats(result):
     return stats.to_dict() if hasattr(stats, "to_dict") else dict(stats)
 
 
+def _result_explanation(result):
+    """A JSON-safe explanation summary for a result, or None.
+
+    When the verdict carries a checkable certificate the worker runs
+    the independent checker *here*, in-process, so the summary shipped
+    to the pool already says whether the proof held up.
+    """
+    explanation = getattr(result, "explanation", None)
+    if explanation is None:
+        return None
+    try:
+        if explanation.certifiable():
+            explanation.check()
+        return explanation.to_dict()
+    except Exception as exc:
+        return {"kind": explanation.kind, "error": error_info(exc)}
+
+
 def _solve_smt2(state, task):
     from repro.smtlib.interp import run_script
 
@@ -111,25 +130,33 @@ def _solve_smt2(state, task):
         state.builder, task["payload"], solver=state.smt_solver,
         budget=state.budget(),
     )
-    return {
+    out = {
         "status": result.status,
         "model": result.model,
         "reason": result.reason,
         "error": result.error,
         "stats": _result_stats(result),
     }
+    explanation = _result_explanation(result)
+    if explanation is not None:
+        out["explanation"] = explanation
+    return out
 
 
 def _solve_pattern(state, task):
     regex = parse(state.builder, task["payload"])
     result = state.regex_solver.is_satisfiable(regex, state.budget())
-    return {
+    out = {
         "status": result.status,
         "witness": result.witness,
         "reason": result.reason,
         "error": result.error,
         "stats": _result_stats(result),
     }
+    explanation = _result_explanation(result)
+    if explanation is not None:
+        out["explanation"] = explanation
+    return out
 
 
 def _solve_bench(state, task):

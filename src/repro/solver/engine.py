@@ -15,6 +15,7 @@ from collections import deque
 from repro.derivatives.condtree import DerivativeEngine
 from repro.errors import BudgetExceeded
 from repro.obs import Observability
+from repro.obs.explain import ExplainRecorder
 from repro.solver.graph import RegexGraph
 from repro.solver.lifecycle import EngineState
 from repro.solver.result import (
@@ -36,7 +37,8 @@ class RegexSolver:
     ``Observability.disabled()`` to strip even the counters.
     """
 
-    def __init__(self, builder, strategy="dfs", obs=None, compaction=None):
+    def __init__(self, builder, strategy="dfs", obs=None, compaction=None,
+                 explain=False):
         self.builder = builder
         self.algebra = builder.algebra
         self.obs = obs if obs is not None else Observability()
@@ -56,6 +58,9 @@ class RegexSolver:
         # instances resolve without enumerating whole breadth levels.
         # BFS yields shortest witnesses; DFS is the default.
         self.strategy = strategy
+        #: when True every query carries a checkable provenance record
+        #: (witness path / unsat closure) on ``result.explanation``
+        self.explain = explain
         scope = self.obs.metrics.scope("solver")
         self._c_queries = scope.counter("queries")
         self._c_witnesses = scope.counter("witnesses")
@@ -122,14 +127,17 @@ class RegexSolver:
         budget = budget or Budget()
         self._c_queries.inc()
         mark = self._mark(budget)
+        recorder = ExplainRecorder(self) if self.explain else None
         # exceptions propagate *through* the span so the tracer records
         # args["error"] (= "BudgetExceeded", "RecursionError", ...) on it
         try:
             with self._tracer.span("solver.explore", strategy=self.strategy):
-                witness = self._explore(regex, budget)
+                witness = self._explore(regex, budget, recorder)
         except BudgetExceeded as exc:
             return SolverResult(
-                UNKNOWN, reason=str(exc), stats=self._stats(mark, budget)
+                UNKNOWN, reason=str(exc), stats=self._stats(mark, budget),
+                explanation=(recorder.unknown(regex, str(exc))
+                             if recorder else None),
             )
         except RESOURCE_ERRORS as exc:
             # pathological inputs (deeply nested regexes above all) can
@@ -145,19 +153,39 @@ class RegexSolver:
                        % type(exc).__name__,
                 error=error_info(exc),
                 stats=stats,
+                explanation=(
+                    recorder.unknown(
+                        regex, "%s during exploration" % type(exc).__name__
+                    ) if recorder else None
+                ),
             )
         if witness is None:
-            return SolverResult(UNSAT, stats=self._stats(mark, budget))
+            # the unsat certificate: the explored closure (states the
+            # bot rule skipped get their rows filled in from the
+            # memoized derivative trees)
+            return SolverResult(
+                UNSAT, stats=self._stats(mark, budget),
+                explanation=recorder.unsat(regex) if recorder else None,
+            )
         self._c_witnesses.inc()
-        return SolverResult(SAT, witness=witness, stats=self._stats(mark, budget))
+        return SolverResult(
+            SAT, witness=witness, stats=self._stats(mark, budget),
+            explanation=(recorder.sat(regex, witness, recorder.sat_steps)
+                         if recorder else None),
+        )
 
     def is_empty(self, regex, budget=None):
         """Is ``L(regex)`` empty?  (The complement view of sat.)"""
         result = self.is_satisfiable(regex, budget)
         if result.is_sat:
-            return SolverResult(UNSAT, witness=result.witness, stats=result.stats)
+            return SolverResult(
+                UNSAT, witness=result.witness, stats=result.stats,
+                explanation=result.explanation,
+            )
         if result.is_unsat:
-            return SolverResult(SAT, stats=result.stats)
+            return SolverResult(
+                SAT, stats=result.stats, explanation=result.explanation
+            )
         return result
 
     def contains(self, sub, sup, budget=None):
@@ -172,9 +200,12 @@ class RegexSolver:
             return SolverResult(
                 UNSAT, witness=result.witness, stats=result.stats,
                 reason="containment counterexample",
+                explanation=result.explanation,
             )
         if result.is_unsat:
-            return SolverResult(SAT, stats=result.stats)
+            return SolverResult(
+                SAT, stats=result.stats, explanation=result.explanation
+            )
         return result
 
     def equivalent(self, left, right, budget=None):
@@ -191,9 +222,12 @@ class RegexSolver:
             return SolverResult(
                 UNSAT, witness=result.witness, stats=result.stats,
                 reason="distinguishing string",
+                explanation=result.explanation,
             )
         if result.is_unsat:
-            return SolverResult(SAT, stats=result.stats)
+            return SolverResult(
+                SAT, stats=result.stats, explanation=result.explanation
+            )
         return result
 
     def membership(self, string, regex):
@@ -202,15 +236,20 @@ class RegexSolver:
 
     # -- exploration -----------------------------------------------------------
 
-    def _explore(self, root, budget):
+    def _explore(self, root, budget, recorder=None):
         """Lazy unfolding: BFS over derivative successors.
 
         Returns a witness string if a nullable regex is reachable, or
         None once the reachable space is exhausted (root is dead).
+        When ``recorder`` is set, every expanded state's full transition
+        rows are recorded and a sat verdict leaves its path steps on
+        ``recorder.sat_steps``.
         """
         graph = self.graph
         graph.add_vertex(root)
         if root.nullable:
+            if recorder is not None:
+                recorder.sat_steps = []
             return ""
         # the bot rule: a regex already proved dead is unsat immediately
         if graph.is_dead(root):
@@ -223,7 +262,7 @@ class RegexSolver:
             self._explored_n += 1
             if graph.is_dead(vertex):
                 continue
-            edges = self._edges(vertex)
+            edges = self._edges(vertex, recorder)
             all_targets = set()
             for _, successor_set in edges:
                 all_targets |= successor_set
@@ -232,13 +271,16 @@ class RegexSolver:
                 char = self.algebra.pick(guard)
                 for target in successor_set:
                     if target not in parent:
-                        parent[target] = (vertex, char)
+                        parent[target] = (vertex, char, guard)
                         if target.nullable:
-                            return self._reconstruct(parent, target)
+                            witness, steps = self._reconstruct(parent, target)
+                            if recorder is not None:
+                                recorder.sat_steps = steps
+                            return witness
                         queue.append(target)
         return None
 
-    def _edges(self, vertex):
+    def _edges(self, vertex, recorder=None):
         """Group the derivative tree of ``vertex`` into transitions.
 
         Returns ``(guard, successors)`` pairs, one per non-bottom leaf
@@ -247,29 +289,27 @@ class RegexSolver:
         leaf sets; ``.*`` does (it is a final, alive vertex — dropping
         it, as ``Q()`` does for state counting, would break soundness
         of dead-end detection).
+
+        The full rows — bottom leaves included, so the guards cover the
+        whole domain — go to the recorder; the exploration loop only
+        sees the live ones.
         """
-        algebra = self.algebra
-        tree = self.engine.derivative(vertex)
-        out = []
-
-        def walk(node, path):
-            if node.is_leaf:
-                if node.regexes:
-                    out.append((path, set(node.regexes)))
-                return
-            walk(node.then, algebra.conj(path, node.pred))
-            walk(node.other, algebra.conj(path, algebra.neg(node.pred)))
-
-        walk(tree, algebra.top)
-        return out
+        rows = self.engine.transitions(vertex)
+        if recorder is not None:
+            recorder.record_rows(vertex, rows)
+        return [(guard, targets) for guard, targets in rows if targets]
 
     def _reconstruct(self, parent, target):
-        chars = []
+        """Witness string plus the (state, guard, char, successor)
+        steps from the root, read off the parent chain."""
+        steps = []
         node = target
         while parent[node] is not None:
-            node, char = parent[node]
-            chars.append(char)
-        return "".join(reversed(chars))
+            source, char, guard = parent[node]
+            steps.append((source, guard, char, node))
+            node = source
+        steps.reverse()
+        return "".join(step[2] for step in steps), steps
 
     def _mark(self, budget):
         """Snapshot the cumulative counters at query entry, so the

@@ -151,6 +151,16 @@ class RegexGraph:
         self._dead.update(visited)
         return True
 
+    def classify(self, vertex):
+        """Membership flags of one vertex across the derived sets (the
+        provenance layer's narratives print these)."""
+        return {
+            "final": vertex in self._final,
+            "closed": vertex in self._closed,
+            "alive": vertex in self._alive,
+            "dead": vertex in self._dead,
+        }
+
     @property
     def dead_count(self):
         return len(self._dead)

@@ -164,16 +164,20 @@ class SolverResult:
     result, never a propagating interpreter error.
     """
 
-    __slots__ = ("status", "witness", "model", "stats", "reason", "error")
+    __slots__ = ("status", "witness", "model", "stats", "reason", "error",
+                 "explanation")
 
     def __init__(self, status, witness=None, model=None, stats=None,
-                 reason=None, error=None):
+                 reason=None, error=None, explanation=None):
         self.status = status
         self.witness = witness
         self.model = model
         self.stats = stats if stats is not None else {}
         self.reason = reason
         self.error = error
+        #: :class:`repro.obs.explain.Explanation` (or ``SmtExplanation``)
+        #: when the solver ran with provenance recording enabled
+        self.explanation = explanation
 
     @property
     def is_sat(self):
@@ -204,6 +208,10 @@ class SolverResult:
             out["model"] = dict(self.model)
         if self.error is not None:
             out["error"] = dict(self.error)
+        if self.explanation is not None:
+            # summary only: the full certificate is large and stays
+            # behind Explanation.certificate()
+            out["explanation"] = self.explanation.to_dict()
         return out
 
     def __repr__(self):

@@ -23,6 +23,7 @@ that the host solver would accumulate.
 from collections import deque
 
 from repro.errors import BudgetExceeded
+from repro.obs.explain import ExplainRecorder, explain_witness
 from repro.solver.result import Budget, SAT, SolverResult, UNKNOWN, UNSAT
 
 
@@ -63,8 +64,16 @@ class PropagationEngine:
         self.builder = solver.builder
         self.algebra = solver.algebra
 
-    def solve(self, regex, budget=None, trace=None):
-        """Run the propagation rules to decide ``exists s. in(s, r)``."""
+    def solve(self, regex, budget=None, trace=None, explain=False):
+        """Run the propagation rules to decide ``exists s. in(s, r)``.
+
+        With ``explain=True`` the result carries the same checkable
+        :class:`~repro.obs.explain.Explanation` the optimized engine
+        produces: the rule engine tracks prefixes rather than parent
+        chains, so a sat witness path is rebuilt after the fact
+        (:func:`~repro.obs.explain.explain_witness`) and an unsat
+        closure is collected from the memoized derivative trees.
+        """
         budget = budget or Budget()
         obs = self.solver.obs
         if trace is None:
@@ -87,7 +96,11 @@ class PropagationEngine:
                 trace.fire("der", repr(goal))
                 if goal.nullable:
                     return SolverResult(
-                        SAT, witness=prefix, stats={"trace": trace.counts}
+                        SAT, witness=prefix, stats={"trace": trace.counts},
+                        explanation=(
+                            explain_witness(self.solver, regex, prefix)
+                            if explain else None
+                        ),
                     )
                 if goal in expanded:
                     continue
@@ -110,8 +123,19 @@ class PropagationEngine:
                         trace.fire("ere", repr(alternative))
                         work.append((alternative, prefix + char))
         except BudgetExceeded as exc:
-            return SolverResult(UNKNOWN, reason=str(exc), stats={"trace": trace.counts})
-        return SolverResult(UNSAT, stats={"trace": trace.counts})
+            return SolverResult(
+                UNKNOWN, reason=str(exc), stats={"trace": trace.counts},
+                explanation=(
+                    ExplainRecorder(self.solver).unknown(regex, str(exc))
+                    if explain else None
+                ),
+            )
+        return SolverResult(
+            UNSAT, stats={"trace": trace.counts},
+            explanation=(
+                ExplainRecorder(self.solver).unsat(regex) if explain else None
+            ),
+        )
 
     def _ite(self, tree, path, trace):
         """Fire the **ite** rule down a clean conditional tree, yielding

@@ -16,6 +16,7 @@ from itertools import product
 
 from repro.errors import BudgetExceeded, UnsupportedError
 from repro.obs import NULL_OBS
+from repro.obs.explain import SmtExplanation
 from repro.solver import formula as F
 from repro.solver.engine import RegexSolver
 from repro.solver.result import (
@@ -73,18 +74,33 @@ class SmtSolver:
         saw_unknown = False
         unknown_reason = None
         case_splits = 0
+        # when the regex engine records provenance, collect one entry
+        # per certified per-variable sub-verdict; the Boolean front end
+        # itself is outside the certificate trust boundary (DESIGN.md)
+        branches = [] if getattr(self.engine, "explain", False) else None
         try:
             for literals in _disjuncts(F.nnf(formula)):
                 case_splits += 1
                 self._c_case_splits.inc()
                 with self._tracer.span("smt.case_split", literals=len(literals)):
-                    outcome = self._solve_conjunct(literals, budget)
+                    outcome = self._solve_conjunct(
+                        literals, budget, case_splits - 1, branches
+                    )
                 if outcome is None:
                     saw_unknown = True
                     continue
                 if outcome is not False:
+                    explanation = None
+                    if branches is not None:
+                        explanation = SmtExplanation("sat", [
+                            b for b in branches
+                            if b["case"] == case_splits - 1
+                            and b["explanation"].kind == "sat"
+                        ])
                     return SolverResult(
-                        SAT, model=outcome, stats={"case_splits": case_splits}
+                        SAT, model=outcome,
+                        stats={"case_splits": case_splits},
+                        explanation=explanation,
                     )
         except BudgetExceeded as exc:
             return SolverResult(
@@ -120,14 +136,25 @@ class SmtSolver:
                 UNKNOWN, reason=unknown_reason or "incomplete branch",
                 stats={"case_splits": case_splits},
             )
-        return SolverResult(UNSAT, stats={"case_splits": case_splits})
+        explanation = None
+        if branches is not None:
+            # every branch refuted: keep the refutation of each case
+            explanation = SmtExplanation("unsat", [
+                b for b in branches if b["explanation"].kind == "unsat"
+            ])
+        return SolverResult(
+            UNSAT, stats={"case_splits": case_splits},
+            explanation=explanation,
+        )
 
     #: SMT-LIB-flavoured alias for :meth:`solve` (``check-sat``).
     check = solve
 
-    def _solve_conjunct(self, literals, budget):
+    def _solve_conjunct(self, literals, budget, case=0, branches=None):
         """One DNF branch.  Returns a model dict, False (branch unsat),
-        or None (branch undecided)."""
+        or None (branch undecided).  When ``branches`` is a list, the
+        per-variable explanations produced by the regex engine are
+        appended to it as ``{"case", "var", "explanation"}`` entries."""
         builder = self.builder
         constraints = {}
         length_atoms = {}
@@ -156,6 +183,11 @@ class SmtSolver:
         undecided = False
         for var, regex in constraints.items():
             result = self.engine.is_satisfiable(regex, budget)
+            if branches is not None and result.explanation is not None:
+                branches.append({
+                    "case": case, "var": var,
+                    "explanation": result.explanation,
+                })
             if result.is_unsat:
                 return False
             if result.is_unknown:

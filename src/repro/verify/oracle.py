@@ -21,10 +21,15 @@ ENGINE_NAMES = ("dz3", "eager", "antimirov", "minterm")
 
 
 def make_engines(builder, obs=None):
-    """Fresh instances of all four engines over one builder."""
+    """Fresh instances of all four engines over one builder.
+
+    The derivative engine runs with provenance recording on: every
+    concrete verdict it contributes to a campaign then carries a
+    certificate the oracle re-checks independently.
+    """
     obs = obs or NULL_OBS
     return {
-        "dz3": RegexSolver(builder, obs=obs),
+        "dz3": RegexSolver(builder, obs=obs, explain=True),
         "eager": EagerAutomataSolver(builder, obs=obs),
         "antimirov": AntimirovSolver(builder, obs=obs),
         "minterm": MintermSolver(builder, obs=obs),
@@ -36,10 +41,12 @@ class Disagreement:
 
     ``kind`` is ``"verdict"`` (two engines returned opposite concrete
     statuses), ``"witness"`` (an engine's sat witness is not in the
-    language, per the reference semantics), or ``"matcher"`` (the
-    semantics and the DFA matcher disagree on a witness).  ``detail``
-    is a human-readable sentence; ``verdicts`` maps engine name to
-    status.
+    language, per the reference semantics), ``"matcher"`` (the
+    semantics and the DFA matcher disagree on a witness), or
+    ``"certificate"`` (an engine's verdict certificate was rejected by
+    the independent checker — the verdict may agree with everyone and
+    still rest on a broken proof).  ``detail`` is a human-readable
+    sentence; ``verdicts`` maps engine name to status.
     """
 
     __slots__ = ("kind", "detail", "verdicts", "witnesses")
@@ -87,6 +94,7 @@ class CrossEngineOracle:
         self._c_checked.inc()
         verdicts = {}
         witnesses = {}
+        explanations = {}
         for name, engine in self.engines.items():
             result = engine.is_satisfiable(
                 regex, self.budget(fuel, seconds)
@@ -94,8 +102,25 @@ class CrossEngineOracle:
             verdicts[name] = result.status
             if result.witness is not None:
                 witnesses[name] = result.witness
+            explanation = getattr(result, "explanation", None)
+            if explanation is not None and explanation.certifiable():
+                explanations[name] = explanation
 
         findings = []
+        # certificate-check every concrete verdict that carries one:
+        # an agreed-upon verdict resting on a broken proof is a finding
+        for name, explanation in sorted(explanations.items()):
+            outcome = explanation.check()
+            if not outcome.ok:
+                findings.append(Disagreement(
+                    "certificate",
+                    "%s %s certificate rejected by the independent "
+                    "checker: %s" % (
+                        name, explanation.kind,
+                        "; ".join(outcome.errors[:3]),
+                    ),
+                    verdicts, witnesses,
+                ))
         concrete = {n: s for n, s in verdicts.items()
                     if s in ("sat", "unsat")}
         if len(set(concrete.values())) > 1:

@@ -79,6 +79,69 @@ def graph_to_dot(builder, root, max_states=200, name="derivatives"):
     return "\n".join(lines)
 
 
+def render_explanation(explanation, name="explanation"):
+    """Graphviz dot view of a verdict's provenance.
+
+    For sat: the explored states along the witness path, with the path
+    edges highlighted (bold red, labelled ``guard / chosen char``).
+    For unsat: the whole explored closure — every state a plain circle
+    (none can be nullable), dead states filled gray, bottom rows drawn
+    as dashed edges into a single ``⊥`` sink proving the cover is
+    exhaustive.  Unknown/truncated explanations render as a one-node
+    note so callers need not special-case them.
+    """
+    algebra = explanation.algebra
+    lines = ["digraph %s {" % name, "  rankdir=LR;"]
+
+    def esc(text):
+        return text.replace("\\", "\\\\").replace('"', '\\"')
+
+    if explanation.kind not in ("sat", "unsat"):
+        lines.append('  note [shape=box, label="%s: %s"];' % (
+            explanation.kind, esc(explanation.reason or "no certificate"),
+        ))
+        lines.append("}")
+        return "\n".join(lines)
+
+    index = {state: i for i, state in enumerate(explanation.states)}
+    for state, i in index.items():
+        shape = "doublecircle" if state.nullable else "circle"
+        attrs = ['shape=%s' % shape,
+                 'label="%s"' % esc(to_pattern(state, algebra))]
+        if state is explanation.root:
+            attrs.append("penwidth=2")
+        if explanation.flags.get(state, {}).get("dead"):
+            attrs.append('style=filled, fillcolor=gray85')
+        lines.append("  n%d [%s];" % (i, ", ".join(attrs)))
+
+    if explanation.kind == "sat":
+        for state, guard, char, successor in explanation.steps:
+            lines.append(
+                '  n%d -> n%d [label="%s / %s", color=red, penwidth=2];'
+                % (index[state], index[successor],
+                   esc(render_pred(guard, algebra)), esc(repr(char)))
+            )
+    else:
+        bottom_used = False
+        for state in explanation.states:
+            for guard, targets in explanation.rows.get(state, ()):
+                label = esc(render_pred(guard, algebra))
+                if not targets:
+                    bottom_used = True
+                    lines.append(
+                        '  n%d -> bot [label="%s", style=dashed];'
+                        % (index[state], label)
+                    )
+                    continue
+                for target in targets:
+                    lines.append('  n%d -> n%d [label="%s"];'
+                                 % (index[state], index[target], label))
+        if bottom_used:
+            lines.append('  bot [shape=point, label="", width=0.15];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
 def sbfa_to_text(sbfa, algebra=None):
     """A Figure 5-style rendering of an SBFA's transition regexes."""
     from repro.derivatives.transition import pretty

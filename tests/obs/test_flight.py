@@ -469,3 +469,30 @@ def test_replay_round_trip_through_capture(tmp_path):
     assert comparison["match"] is True
     assert comparison["artifact"] == path
     assert comparison["witness"] is not None
+
+
+def test_capture_artifact_embeds_checked_certificate(tmp_path):
+    """Slow concrete verdicts gain an independently checked proof."""
+    from repro.obs.explain import check_certificate
+
+    path = capture_artifact(
+        str(tmp_path), pattern_task(name="proof", payload="(ab)*&b.*"),
+        {"status": "unsat", "elapsed": 2.0},
+        {"fuel": 100000, "seconds": 5.0, "max_char": 127},
+        worker="w0", pid=1, trigger="latency>=1.000s",
+    )
+    artifact = load_artifact(path)
+    cert = artifact["certificate"]
+    assert cert["status"] == "unsat"
+    assert cert["explanation"]["certificate_checked"] is True
+    assert check_certificate(cert["certificate"]).ok
+
+
+def test_capture_artifact_skips_certificates_for_unknowns(tmp_path):
+    path = capture_artifact(
+        str(tmp_path), pattern_task(name="vague", payload="(ab)*"),
+        {"status": "unknown", "reason": "fuel", "elapsed": 2.0},
+        {"fuel": 10, "seconds": 5.0, "max_char": 127},
+        worker="w0", pid=1, trigger="latency>=1.000s",
+    )
+    assert "certificate" not in load_artifact(path)

@@ -144,3 +144,29 @@ def test_pool_rejects_zero_workers():
 
     with pytest.raises(ValueError):
         WorkerPool(workers=0)
+
+
+def test_explain_batch_certifies_every_concrete_verdict():
+    jobs = [
+        Job("sat", "pattern", "(ab)*a"),
+        Job("unsat", "pattern", "(ab)*&b.*"),
+        Job("smt", "smt2",
+            '(declare-fun x () String)'
+            '(assert (str.in_re x (re.+ (str.to_re "a"))))(check-sat)'),
+    ]
+    report = solve_batch(jobs, workers=1, explain=True, **BUDGET)
+    assert report.counts == {"sat": 2, "unsat": 1, "unknown": 0, "error": 0}
+    for result in report.results:
+        assert result.explanation is not None
+        assert result.explanation["certificate_checked"] is True
+        assert "explanation" in result.to_dict()
+    certified = report.certified
+    assert certified == {"checked": 3, "rejected": 0, "unchecked": 0}
+    assert "certificates: 3 checked, 0 rejected" in report.summary_line()
+
+
+def test_batch_without_explain_has_no_explanations():
+    report = solve_batch([Job("p", "pattern", "ab*")], workers=1, **BUDGET)
+    assert report.results[0].explanation is None
+    assert report.certified == {"checked": 0, "rejected": 0, "unchecked": 0}
+    assert "certificates" not in report.summary_line()

@@ -246,3 +246,57 @@ def test_replay_empty_flight_is_usage_error(capsys, tmp_path):
     empty = tmp_path / "empty-flight"
     empty.mkdir()
     assert main(["replay", str(empty)]) == 2
+
+
+def test_explain_sat_narrative(capsys):
+    status, out = run(capsys, "--ascii", "explain", "ab*c")
+    assert status == 0
+    assert "sat" in out
+    assert "certificate checked: yes" in out
+
+
+def test_explain_unsat_writes_certificate_and_dot(capsys, tmp_path):
+    import json as json_mod
+
+    from repro.obs.explain import check_certificate
+
+    cert_path = tmp_path / "cert.json"
+    dot_path = tmp_path / "cert.dot"
+    status, out = run(
+        capsys, "--ascii", "explain", "(ab)*&b.*",
+        "--json", str(cert_path), "--dot", str(dot_path),
+    )
+    assert status == 0
+    assert "unsat" in out
+    cert = json_mod.loads(cert_path.read_text())
+    assert check_certificate(cert).ok
+    assert dot_path.read_text().startswith("digraph")
+
+
+def test_explain_no_check_leaves_unchecked(capsys):
+    status, out = run(capsys, "--ascii", "explain", "a&b", "--no-check")
+    assert status == 0
+    assert "certificate checked: yes" not in out
+
+
+def test_explain_unknown_has_reason(capsys):
+    status, out = run(
+        capsys, "--ascii", "--fuel", "2", "explain",
+        "~(.*a.{30})&~(.*b.{30})&(a|b){40}",
+    )
+    assert status == 2
+    assert "unknown" in out
+
+
+def test_check_stats_includes_explanation_summary(capsys):
+    status, out = run(
+        capsys, "--ascii", "--explain", "--stats", "check", "a&b"
+    )
+    assert status == 0
+    assert "explanation: unsat" in out
+
+
+def test_check_without_explain_has_no_explanation_line(capsys):
+    status, out = run(capsys, "--ascii", "--stats", "check", "a&b")
+    assert status == 0
+    assert "explanation:" not in out

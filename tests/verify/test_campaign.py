@@ -3,7 +3,7 @@
 import random
 
 from repro.alphabet import IntervalAlgebra
-from repro.regex import RegexBuilder, to_pattern
+from repro.regex import RegexBuilder, parse, to_pattern
 from repro.verify.campaign import (
     RegexGen, run_campaign, run_shard, search_mismatch, solver_findings,
 )
@@ -60,3 +60,17 @@ def test_known_findings_are_explained(tmp_path):
     report = run_campaign(seed=0, budget_seconds=2, jobs=1, max_cases=5,
                           corpus_dir=str(tmp_path))
     assert report["unexplained"] == len(report["findings"])
+
+
+def test_rejected_certificates_flow_into_campaign_findings(monkeypatch):
+    """A broken certificate is a campaign finding like any other: it
+    enters solver_findings and therefore the shrink-and-freeze path."""
+    from repro.obs.explain import CheckResult, Explanation
+
+    monkeypatch.setattr(
+        Explanation, "check",
+        lambda self: CheckResult(False, ["forged certificate"]),
+    )
+    builder = RegexBuilder(IntervalAlgebra(127))
+    found = solver_findings(builder, parse(builder, "a&b"))
+    assert any(f["kind"] == "certificate" for f in found)

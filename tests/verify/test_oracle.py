@@ -77,3 +77,32 @@ def test_finding_serializes(builder):
     as_dict = finding.to_dict()
     assert as_dict["kind"] == "verdict"
     assert as_dict["verdicts"]["liar"] == "unsat"
+
+
+def test_dz3_runs_with_provenance(builder):
+    engines = make_engines(builder)
+    assert engines["dz3"].explain is True
+
+
+def test_certificates_are_checked_during_oracle_runs(builder):
+    oracle = CrossEngineOracle(builder)
+    assert oracle.check(parse(builder, "a+&b+")) == []
+    # the dz3 verdict must have carried a checked certificate
+    result = oracle.engines["dz3"].is_satisfiable(parse(builder, "a+&b+"))
+    assert result.explanation is not None
+    assert result.explanation.check().ok
+
+
+def test_rejected_certificate_is_a_finding(builder, monkeypatch):
+    from repro.obs.explain import CheckResult, Explanation
+
+    monkeypatch.setattr(
+        Explanation, "check",
+        lambda self: CheckResult(False, ["forged row"]),
+    )
+    findings = CrossEngineOracle(builder).check(parse(builder, "a&b"))
+    kinds = {f.kind for f in findings}
+    assert "certificate" in kinds
+    finding = next(f for f in findings if f.kind == "certificate")
+    assert "forged row" in finding.detail
+    assert "dz3" in finding.detail
