@@ -58,6 +58,9 @@ def build_parser():
                              "against snapshots with the same job count)")
     parser.add_argument("--no-profile", action="store_true",
                         help="skip the traced attribution pass")
+    parser.add_argument("--no-store", action="store_true",
+                        help="skip the zipfian cold-vs-warm store suite "
+                             "(sbd/store_cold and sbd/store_warm cells)")
     parser.add_argument("--time-rel", type=float,
                         default=compare_mod.DEFAULT_TIME_REL,
                         help="relative timing-regression gate (default "
@@ -110,7 +113,7 @@ def main(argv=None):
     snapshot = snapshot_mod.collect(
         root, quick=args.quick, stride=args.stride, fuel=args.fuel,
         seconds=args.seconds, with_profile=not args.no_profile,
-        progress=progress, jobs=args.jobs,
+        progress=progress, jobs=args.jobs, with_store=not args.no_store,
     )
     path = snapshot_mod.write_snapshot(snapshot, root)
     print("wrote %s (%d cells, %d problems x %d engines)" % (
@@ -122,6 +125,13 @@ def main(argv=None):
         print("matrix: wall %.2fs, aggregate cpu %.2fs, jobs=%d" % (
             timing["wall_s"], timing["cpu_s"], args.jobs,
         ))
+    store_cfg = snapshot["config"].get("store")
+    if store_cfg:
+        print("store: zipfian warm replay %.2fx faster than cold "
+              "(%d queries, %d distinct)" % (
+                  store_cfg["speedup"], store_cfg["workload"],
+                  store_cfg["distinct"],
+              ))
     if snapshot.get("profile"):
         prof = snapshot["profile"]
         top = prof["hotspots"][0]["name"] if prof["hotspots"] else "-"

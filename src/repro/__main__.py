@@ -78,6 +78,11 @@ def build_parser():
                              "unsat closure); --stats then prints the "
                              "one-line explanation summary (implied by "
                              "the explain command)")
+    parser.add_argument("--store", metavar="FILE", default=None,
+                        help="warm-store snapshot: load compiled fragments "
+                             "from FILE before solving and save new ones "
+                             "back after (check/solve/batch; see the README "
+                             "warm store section)")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="record spans to FILE (.jsonl for JSONL, "
                              "anything else for Chrome trace_event)")
@@ -251,6 +256,63 @@ def _cache_ratio_line(stats):
     )
 
 
+def _store_ratio_line(stats):
+    """The ``store hit ratio`` line over the query's warm-store
+    lookups, or None when no store was consulted."""
+    hits = stats.get("store_hits", 0)
+    ratio = _hit_ratio(hits, stats.get("store_misses", 0))
+    if ratio is None:
+        return None
+    pct, lookups = ratio
+    return "store hit ratio: %.1f%% (%d/%d fragment lookups)" % (
+        pct, hits, lookups,
+    )
+
+
+def _open_store(args):
+    """The warm store behind ``--store``, loaded from disk (missing
+    file = cold start; malformed file = diagnostic + cold start)."""
+    if not args.store:
+        return None
+    from repro.solver.store import SolverStore
+
+    store = SolverStore()
+    try:
+        store.load(args.store)
+    except (OSError, ValueError) as exc:
+        print("store: starting cold, cannot load %s: %s"
+              % (args.store, exc), file=sys.stderr)
+    return store
+
+
+def _save_store(args, store, out):
+    """Persist an in-process ``--store`` back to disk, reporting the
+    session's hit/miss totals."""
+    try:
+        store.save(args.store)
+    except OSError as exc:
+        print("store: cannot write %s: %s" % (args.store, exc),
+              file=sys.stderr)
+    else:
+        out.append("store: %d fragments (%d hits, %d misses) -> %s"
+                   % (len(store), store.hits, store.misses, args.store))
+
+
+def _pool_store_line(args, report):
+    """The batch-level warm-store summary: hit/miss totals summed over
+    every worker's final report."""
+    stores = [w.get("store") or {} for w in report.worker_reports]
+    hits = sum(s.get("hits", 0) for s in stores)
+    misses = sum(s.get("misses", 0) for s in stores)
+    line = "store: %d hits, %d misses -> %s" % (hits, misses, args.store)
+    ratio = _hit_ratio(hits, misses)
+    if ratio is not None:
+        line = "store: %d hits, %d misses (%.1f%% warm) -> %s" % (
+            hits, misses, ratio[0], args.store,
+        )
+    return line
+
+
 def _stats_lines(result, obs):
     """Render ``--stats`` output: per-query counters, the cache hit
     ratio, then the metrics snapshot (sorted, non-zero entries only)."""
@@ -271,6 +333,9 @@ def _stats_lines(result, obs):
         ratio_line = _cache_ratio_line(stats)
         if ratio_line:
             lines.append(ratio_line)
+        store_line = _store_ratio_line(stats)
+        if store_line:
+            lines.append(store_line)
     explanation = getattr(result, "explanation", None)
     if explanation is not None:
         lines.append("explanation: " + explanation.summary())
@@ -321,9 +386,12 @@ def main(argv=None):
     obs = Observability(tracer=tracer) if tracer else Observability()
     out = []
     result = None
+    store = None
 
     if args.command == "check":
-        solver = RegexSolver(builder, obs=obs, explain=args.explain)
+        store = _open_store(args)
+        solver = RegexSolver(builder, obs=obs, explain=args.explain,
+                             store=store)
         result = solver.is_satisfiable(parse(builder, args.pattern), budget())
         out.append(result.status)
         if result.is_sat:
@@ -382,14 +450,19 @@ def main(argv=None):
                 jobs_from_files(args.files), workers=args.jobs,
                 fuel=args.fuel, seconds=args.seconds,
                 max_char=127 if args.ascii else None,
+                store_path=args.store, store_save=args.store,
             )
             for task in report.results:
                 out.append(_task_line(task))
+            if args.store:
+                out.append(_pool_store_line(args, report))
             status = _batch_status(report)
         else:
             status = 0
+            store = _open_store(args)
             smt = SmtSolver(
-                builder, RegexSolver(builder, obs=obs, explain=args.explain)
+                builder, RegexSolver(builder, obs=obs, explain=args.explain,
+                                     store=store)
             )
             for path in args.files:
                 result = run_file(builder, path, solver=smt, budget=budget())
@@ -419,10 +492,13 @@ def main(argv=None):
             flight_dir=args.flight_dir, slow_s=args.slow_threshold,
             slow_explored=args.slow_explored, heartbeat_s=args.heartbeat,
             trace_solver=args.trace_solver, explain=args.explain,
+            store_path=args.store, store_save=args.store,
         )
         for task in report.results:
             out.append(_task_line(task))
         out.append(report.summary_line())
+        if args.store:
+            out.append(_pool_store_line(args, report))
         if args.output:
             with open(args.output, "w", encoding="utf-8") as handle:
                 for task in report.results:
@@ -432,9 +508,34 @@ def main(argv=None):
                        % (len(report.results), args.output))
         status = _batch_status(report)
     elif args.command == "status":
-        from repro.obs.flight import render_status
+        import os
 
-        out.append(render_status(args.flight_dir, top=args.top))
+        from repro.obs.flight import list_artifacts, list_streams, \
+            render_status
+
+        # a missing or empty directory is an operator mistake (wrong
+        # path, flight never recorded), not a rendering problem: exit
+        # with a diagnostic, never a traceback or a misleading empty
+        # report.  Torn event lines inside a real flight are expected
+        # (a killed worker dies mid-write) and are tolerated downstream.
+        if not os.path.isdir(args.flight_dir):
+            print("status: %s is not a directory (was the flight "
+                  "recorded with batch --flight-dir?)" % args.flight_dir,
+                  file=sys.stderr)
+            return 2
+        try:
+            event_files, span_files = list_streams(args.flight_dir)
+            artifacts = list_artifacts(args.flight_dir)
+            if not event_files and not span_files and not artifacts:
+                print("status: no flight streams under %s (empty or not "
+                      "a flight directory)" % args.flight_dir,
+                      file=sys.stderr)
+                return 2
+            out.append(render_status(args.flight_dir, top=args.top))
+        except (OSError, ValueError) as exc:
+            print("status: cannot render %s: %s" % (args.flight_dir, exc),
+                  file=sys.stderr)
+            return 2
         status = 0
     elif args.command == "replay":
         import os
@@ -447,12 +548,24 @@ def main(argv=None):
                 print("replay: no slow-query artifacts under %s" % args.path,
                       file=sys.stderr)
                 return 2
+        elif not os.path.exists(args.path):
+            print("replay: %s does not exist" % args.path, file=sys.stderr)
+            return 2
         else:
             paths = [args.path]
         status = 0
         mismatches = 0
+        skipped = 0
         for path in paths:
-            comparison = replay_artifact(path)
+            try:
+                comparison = replay_artifact(path)
+            except (OSError, ValueError) as exc:
+                # unreadable or torn artifact: diagnose and move on so
+                # one bad file never hides the rest of the flight
+                print("replay: skipping %s: %s" % (path, exc),
+                      file=sys.stderr)
+                skipped += 1
+                continue
             if not comparison["match"]:
                 mismatches += 1
             if args.json:
@@ -464,13 +577,19 @@ def main(argv=None):
                     comparison["replayed"],
                     "ok" if comparison["match"] else "MISMATCH",
                 ))
+        replayed = len(paths) - skipped
         if not args.json:
-            out.append("replayed %d artifact%s, %d mismatch%s" % (
-                len(paths), "" if len(paths) == 1 else "s",
+            out.append("replayed %d artifact%s, %d mismatch%s%s" % (
+                replayed, "" if replayed == 1 else "s",
                 mismatches, "" if mismatches == 1 else "es",
+                ", %d skipped" % skipped if skipped else "",
             ))
         if mismatches:
             status = 1
+        elif not replayed:
+            # nothing was replayable at all — the caller pointed at
+            # garbage, not at a healthy flight
+            status = 2
     elif args.command == "graph":
         regex = parse(builder, args.pattern)
         render = graph_to_dot if args.dot else graph_to_text
@@ -549,6 +668,8 @@ def main(argv=None):
     else:  # pragma: no cover - argparse enforces the choices
         status = 1
 
+    if store is not None:
+        _save_store(args, store, out)
     if args.stats:
         out.extend(_stats_lines(result, obs))
     if args.trace and tracer is not None:

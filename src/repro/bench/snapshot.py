@@ -260,7 +260,8 @@ def profile_pass(problems, builder, fuel, seconds, max_problems=PROFILE_PROBLEMS
 
 
 def collect(root, quick=False, stride=None, fuel=None, seconds=None,
-            with_profile=True, seq=None, progress=None, jobs=1):
+            with_profile=True, seq=None, progress=None, jobs=1,
+            with_store=True):
     """Run the evaluation matrix and assemble (not write) a snapshot.
 
     ``quick`` selects the CI-sized tier (per-suite subsampling and a
@@ -272,6 +273,12 @@ def collect(root, quick=False, stride=None, fuel=None, seconds=None,
     snapshot records both the batch wall time and the aggregate
     per-problem CPU time under ``"timing"``, plus ``config["jobs"]``
     so the regression gate can insist on like-for-like comparisons.
+
+    ``with_store`` additionally runs the zipfian cold-vs-warm store
+    suite (:func:`repro.bench.warm.run_warm_suite`) at the tier's
+    budgets and folds its ``sbd/store_cold`` / ``sbd/store_warm``
+    cells into the snapshot, so the regression gate covers warm-replay
+    performance the same way it covers every other suite.
     """
     tier = QUICK_TIER if quick else FULL_TIER
     stride = tier["stride"] if stride is None else stride
@@ -304,7 +311,18 @@ def collect(root, quick=False, stride=None, fuel=None, seconds=None,
         "engines": [e.name for e in engines],
         "problems": len(problems),
     }
-    return build_snapshot(
+    snapshot = build_snapshot(
         records, seconds, config, root, seq=seq, profile=profile,
         timing=timing,
     )
+    if with_store:
+        from repro.bench.warm import run_warm_suite
+
+        warm = run_warm_suite(fuel=fuel, seconds=seconds)
+        snapshot["cells"].update(warm["cells"])
+        snapshot["config"]["store"] = {
+            "workload": warm["workload"],
+            "distinct": warm["distinct"],
+            "speedup": round(warm["speedup"], 3),
+        }
+    return snapshot

@@ -41,6 +41,22 @@ _POLL_SLEEP = 0.02
 #: an import failure on spawn) — prevents an infinite respawn loop.
 _MAX_IDLE_DEATHS = 8
 
+#: How many queued tasks the affinity router inspects when a worker
+#: frees up.  A bounded scan keeps dispatch O(1)-ish; a repeat pattern
+#: deeper in the queue simply dispatches in arrival order.
+_AFFINITY_SCAN = 32
+
+
+def _affinity_key(task):
+    """The routing key for warm-store affinity: the raw payload text of
+    pattern/smt2 tasks (what the store keys on, pre-canonicalization).
+    Bench and crash tasks have no reusable fragments — no key."""
+    if task.get("kind") in ("pattern", "smt2"):
+        payload = task.get("payload")
+        if isinstance(payload, str):
+            return (task["kind"], payload)
+    return None
+
 
 class _Worker:
     __slots__ = (
@@ -67,13 +83,20 @@ class WorkerPool:
                  max_rss_mb=None, max_cache_entries=None,
                  compact_entries=None, flight_dir=None, slow_s=None,
                  slow_explored=None, heartbeat_s=None, trace_solver=False,
-                 explain=False):
+                 explain=False, store_path=None, store_save=None):
         if workers < 1:
             raise ValueError("need at least one worker")
         self.workers = workers
         self.retries = retries
         self.reap_grace = reap_grace
         self.progress = progress
+        self.store_path = store_path
+        self.store_save = store_save
+        #: affinity map for the warm store: task routing key -> id of
+        #: the worker that last solved that payload (and so holds its
+        #: fragments hot in-process, beyond what the shared snapshot
+        #: provides)
+        self._affinity = {}
         if flight_dir is not None and slow_s is None and slow_explored is None:
             # flight recording without an explicit threshold still
             # captures: default to the latency trigger
@@ -96,6 +119,8 @@ class WorkerPool:
             "slow_s": slow_s, "slow_explored": slow_explored,
             "heartbeat_s": heartbeat_s, "trace_solver": bool(trace_solver),
             "explain": bool(explain),
+            "store_path": str(store_path) if store_path else None,
+            "store_capture": bool(store_save),
         }
         if start_method is None:
             import multiprocessing
@@ -148,7 +173,7 @@ class WorkerPool:
         state = {
             "results": {}, "retries": 0, "worker_metrics": [],
             "stats_seen": 0, "recycled": 0, "worker_reports": [],
-            "heartbeats": [],
+            "heartbeats": [], "store_new": [],
         }
         if self.flight_dir is not None:
             from repro.obs.flight import PoolFlight
@@ -164,7 +189,7 @@ class WorkerPool:
                 progressed = False
                 for worker in fleet:
                     if worker.task is None and not worker.retiring and pending:
-                        task = pending.popleft()
+                        task = self._next_task(worker, pending)
                         worker.task = task
                         worker.deadline = self._task_deadline()
                         worker.task_q.put(task)
@@ -198,6 +223,7 @@ class WorkerPool:
                 self._flight.finish(results=len(state["results"]))
                 self._flight = None
         wall = time.perf_counter() - started
+        self._save_store(state)
         results = [state["results"][i] for i in sorted(state["results"])]
         return BatchReport(
             results, wall, self.workers, retries=state["retries"],
@@ -205,6 +231,29 @@ class WorkerPool:
             worker_reports=state["worker_reports"],
             heartbeats=state["heartbeats"], flight_dir=self.flight_dir,
         )
+
+    def _next_task(self, worker, pending):
+        """Pick this worker's next task, preferring payloads it has
+        solved before (warm-store affinity).
+
+        Without a store every dispatch is ``popleft`` — arrival order.
+        With one, a bounded scan of the queue head looks for a task
+        whose payload this worker already compiled: its in-process
+        rows make the repeat essentially free, where another worker
+        would at best replay the shared snapshot.  Verdicts never
+        depend on the routing — only latency does."""
+        if self.store_path or self.store_save:
+            for i in range(min(len(pending), _AFFINITY_SCAN)):
+                key = _affinity_key(pending[i])
+                if key is not None and self._affinity.get(key) == worker.id:
+                    task = pending[i]
+                    del pending[i]
+                    return task
+        task = pending.popleft()
+        key = _affinity_key(task)
+        if key is not None:
+            self._affinity[key] = worker.id
+        return task
 
     def _pump(self, worker, state):
         """Drain one worker's result queue; True if anything arrived."""
@@ -247,13 +296,22 @@ class WorkerPool:
                 self._flight.record_heartbeat(msg)
         elif kind == "stats":
             state["worker_metrics"].append(msg.get("metrics") or {})
-            state["worker_reports"].append({
+            report = {
                 "worker": msg.get("worker"),
                 "tasks": msg.get("tasks", 0),
                 "retiring": bool(msg.get("retiring")),
                 "reason": msg.get("reason"),
                 "rss_bytes": msg.get("rss_bytes", 0),
-            })
+            }
+            store = msg.get("store")
+            if store is not None:
+                report["store"] = {
+                    "hits": store.get("hits", 0),
+                    "misses": store.get("misses", 0),
+                    "fragments": store.get("fragments", 0),
+                }
+                state["store_new"].extend(store.get("new") or ())
+            state["worker_reports"].append(report)
             if msg.get("retiring"):
                 # planned retirement mid-batch: the health check will
                 # replace this worker without charging a crash, and the
@@ -364,6 +422,29 @@ class WorkerPool:
         self._discard(worker)
         return self._spawn()
 
+    def _save_store(self, state):
+        """Fold the fragments the workers learned into the snapshot at
+        ``store_save`` (merging whatever is already there, plus the
+        read snapshot when it is a different file).  Insert-only merge:
+        a concurrent or earlier batch's fragments are never clobbered."""
+        if not self.store_save:
+            return None
+        from repro.solver.store import SolverStore
+
+        store = SolverStore()
+        for path in (self.store_save, self.store_path):
+            if path:
+                try:
+                    store.load(path)
+                except (OSError, ValueError):
+                    pass
+        store.merge(state["store_new"])
+        try:
+            store.save(self.store_save)
+        except OSError:
+            return None
+        return store
+
     def _fail_remaining(self, pending, fleet, state):
         """Workers keep dying before taking any task — fail what's left
         with structured errors rather than looping forever."""
@@ -418,7 +499,8 @@ def solve_batch(jobs, workers=2, fuel=None, seconds=None, max_char=None,
                 progress=None, max_tasks=None, max_rss_mb=None,
                 max_cache_entries=None, compact_entries=None,
                 flight_dir=None, slow_s=None, slow_explored=None,
-                heartbeat_s=None, trace_solver=False, explain=False):
+                heartbeat_s=None, trace_solver=False, explain=False,
+                store_path=None, store_save=None):
     """Solve ``jobs`` on a pool of ``workers`` processes.
 
     Returns a :class:`~repro.serve.report.BatchReport` with one
@@ -448,6 +530,15 @@ def solve_batch(jobs, workers=2, fuel=None, seconds=None, max_char=None,
     worker re-checks with the independent checker before reporting,
     and each task result gains an ``explanation`` summary (``report.
     certified`` counts the checked ones).  Verdicts are unaffected.
+
+    ``store_path`` gives every worker (including replacements spawned
+    after recycling — a warm restart) a shared read-only warm-store
+    snapshot to load on spawn; ``store_save`` additionally captures the
+    fragments workers learn and merges them into that file at batch
+    end.  Either one also arms affinity routing: repeat payloads
+    prefer the worker that already compiled them.  Verdicts are
+    unaffected — a warm hit replays the exact rows a cold solve would
+    rebuild (see :mod:`repro.solver.store`).
     """
     pool = WorkerPool(
         workers=workers, fuel=fuel, seconds=seconds, max_char=max_char,
@@ -456,5 +547,6 @@ def solve_batch(jobs, workers=2, fuel=None, seconds=None, max_char=None,
         max_cache_entries=max_cache_entries, compact_entries=compact_entries,
         flight_dir=flight_dir, slow_s=slow_s, slow_explored=slow_explored,
         heartbeat_s=heartbeat_s, trace_solver=trace_solver, explain=explain,
+        store_path=store_path, store_save=store_save,
     )
     return pool.run(jobs)

@@ -68,9 +68,25 @@ class WorkerState:
         # tracer + event log) so solver-layer spans/events land in the
         # flight directory
         self.obs = obs if obs is not None else Observability()
+        # the warm store: every worker loads the shared snapshot on
+        # spawn — including replacements for recycled workers, which is
+        # what turns recycling into a *warm* restart — and captures new
+        # fragments to ship back in its final stats message
+        self.store = None
+        store_path = config.get("store_path")
+        if store_path or config.get("store_capture"):
+            from repro.solver.store import SolverStore
+
+            self.store = SolverStore()
+            if store_path:
+                try:
+                    self.store.load(store_path)
+                except (OSError, ValueError):
+                    # unreadable snapshot: solve cold rather than die
+                    self.store = SolverStore()
         self.regex_solver = RegexSolver(
             self.builder, obs=self.obs, compaction=policy,
-            explain=bool(config.get("explain")),
+            explain=bool(config.get("explain")), store=self.store,
         )
         self.smt_solver = SmtSolver(self.builder, self.regex_solver)
         self.tasks_done = 0
@@ -279,7 +295,7 @@ def worker_main(worker_id, task_q, result_q, config):
         flight.close(tasks=state.tasks_done,
                      retiring=retire_reason is not None,
                      reason=retire_reason)
-    result_q.put({
+    final = {
         "type": "stats",
         "worker": worker_id,
         "tasks": state.tasks_done,
@@ -287,4 +303,11 @@ def worker_main(worker_id, task_q, result_q, config):
         "retiring": retire_reason is not None,
         "reason": retire_reason,
         "rss_bytes": rss_bytes(),
-    })
+    }
+    if state.store is not None:
+        # ship the learned fragments home: the pool merges them into
+        # the saved snapshot so the *next* batch (and the replacements
+        # for recycled workers) start warm
+        final["store"] = dict(state.store.stats())
+        final["store"]["new"] = state.store.export_new()
+    result_q.put(final)

@@ -13,7 +13,7 @@ import time
 from collections import deque
 
 from repro.derivatives.condtree import DerivativeEngine
-from repro.errors import BudgetExceeded
+from repro.errors import BudgetExceeded, ReproError
 from repro.obs import Observability
 from repro.obs.explain import ExplainRecorder
 from repro.solver.graph import RegexGraph
@@ -22,6 +22,11 @@ from repro.solver.result import (
     Budget, RESOURCE_ERRORS, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT,
     error_info,
 )
+
+
+def _by_uid(regex):
+    """Deterministic successor ordering for frozen transition rows."""
+    return regex.uid
 
 
 class RegexSolver:
@@ -38,7 +43,7 @@ class RegexSolver:
     """
 
     def __init__(self, builder, strategy="dfs", obs=None, compaction=None,
-                 explain=False):
+                 explain=False, store=None):
         self.builder = builder
         self.algebra = builder.algebra
         self.obs = obs if obs is not None else Observability()
@@ -69,6 +74,29 @@ class RegexSolver:
         #: states popped across all queries (plain int on the hot path;
         #: published to the registry by _sync_registry per query)
         self._explored_n = 0
+        #: the cross-query compiled-fragment store (repro.solver.store)
+        self.store = None
+        #: node -> full transition rows instantiated from the store;
+        #: consulted before the derivative engine, pinned against
+        #: compaction through the EngineState root provider
+        self._warm_rows = {}
+        #: node -> (LazyFragment, state index) for fragment states not
+        #: yet materialized; _edges promotes entries into _warm_rows as
+        #: exploration reaches them, so warm work stays proportional to
+        #: the explored prefix (an early sat never pays for the whole
+        #: fragment)
+        self._warm_sources = {}
+        #: per-root-uid canonical key memo (None = uncacheable)
+        self._canon_keys = {}
+        #: per-query capture target, set by _consult_store on a miss
+        self._capture = None
+        self._store_hits_n = 0
+        self._store_misses_n = 0
+        store_scope = self.obs.metrics.scope("store")
+        self._c_store_hits = store_scope.counter("hits")
+        self._c_store_misses = store_scope.counter("misses")
+        if store is not None:
+            self.attach_store(store)
 
     def _sync_registry(self):
         """Push the plain-int hot-path counters of every layer into the
@@ -81,6 +109,92 @@ class RegexSolver:
         self.engine.sync_metrics()
         self.graph.sync_metrics()
         self.algebra.sync_metrics()
+
+    # -- the warm store -------------------------------------------------------
+
+    def attach_store(self, store):
+        """Wire a :class:`~repro.solver.store.SolverStore` in: queries
+        consult it before building derivatives, misses capture their
+        rows into it, and the instantiated rows register as compaction
+        roots (the store-pinning invariant — see EngineState.
+        add_root_provider)."""
+        self.store = store
+        self.state.add_root_provider(self._store_roots)
+
+    def _store_roots(self):
+        """Every node the warm rows reference — keys, successors, and
+        lazily-parsed-but-unmaterialized fragment states — so
+        compaction keeps fragment state reachable and uid-canonical."""
+        roots = []
+        for node, rows in self._warm_rows.items():
+            roots.append(node)
+            for _guard, targets in rows:
+                roots.extend(targets)
+        roots.extend(self._warm_sources)
+        return roots
+
+    def _consult_store(self, regex):
+        """Query-entry store consultation.
+
+        On a hit the fragment's rows are instantiated into
+        ``_warm_rows`` (once — later queries find them already live).
+        On a miss, arms per-query row capture; :meth:`_edges` fills it
+        and :meth:`_capture_fragment` stores it at query end.
+
+        The lookup key is the printed pattern alone — cheaper than the
+        full :func:`~repro.solver.store.canonical_pattern` roundtrip,
+        and just as safe: a hit is only used after the fragment's root
+        re-interns to this very node, and a miss's capture is
+        roundtrip-checked state-by-state in ``build_fragment`` before
+        anything is stored.
+        """
+        from repro.regex.printer import to_pattern
+
+        key = self._canon_keys.get(regex.uid, False)
+        if key is False:
+            try:
+                key = to_pattern(regex, self.algebra)
+            except (ReproError, RecursionError):
+                key = None
+            self._canon_keys[regex.uid] = key
+        if key is None:
+            return
+        fragment = self.store.lookup(repr(self.algebra), key)
+        if fragment is not None:
+            self._store_hits_n += 1
+            self._c_store_hits.inc()
+            if (regex not in self._warm_rows
+                    and regex not in self._warm_sources):
+                from repro.solver.store import LazyFragment
+
+                lazy = LazyFragment(self.builder, fragment)
+                # the fragment's root must re-intern to this very node;
+                # anything else means a stale snapshot — solve cold
+                if lazy.node(0) is regex:
+                    self._warm_sources[regex] = (lazy, 0)
+            return
+        self._store_misses_n += 1
+        self._c_store_misses.inc()
+        self._capture = (key, {})
+
+    def _capture_fragment(self, regex):
+        """Store the rows a just-finished miss query captured.  Partial
+        captures (budget ran out, witness found early) are fine: each
+        row is an independent fact about the derivative relation."""
+        from repro.solver.store import build_fragment
+
+        key, rows = self._capture
+        self._capture = None
+        if not rows:
+            return
+        fragment = build_fragment(
+            self.builder, regex, key, rows,
+            max_states=self.store.max_states,
+        )
+        if fragment is not None and self.store.insert(fragment):
+            # keep the captured rows warm in-process too: the next
+            # compaction must already see them as pinned roots
+            self._warm_rows.update(rows)
 
     # -- public queries -------------------------------------------------------
 
@@ -127,7 +241,18 @@ class RegexSolver:
         budget = budget or Budget()
         self._c_queries.inc()
         mark = self._mark(budget)
+        if self.store is not None:
+            self._consult_store(regex)
         recorder = ExplainRecorder(self) if self.explain else None
+        try:
+            return self._answer(regex, budget, mark, recorder)
+        finally:
+            # store any rows a miss query captured — even on a budget
+            # or resource bailout, since partial captures are valid
+            if self._capture is not None:
+                self._capture_fragment(regex)
+
+    def _answer(self, regex, budget, mark, recorder):
         # exceptions propagate *through* the span so the tracer records
         # args["error"] (= "BudgetExceeded", "RecursionError", ...) on it
         try:
@@ -265,7 +390,7 @@ class RegexSolver:
             edges = self._edges(vertex, recorder)
             all_targets = set()
             for _, successor_set in edges:
-                all_targets |= successor_set
+                all_targets.update(successor_set)
             graph.update(vertex, all_targets)
             for guard, successor_set in edges:
                 char = self.algebra.pick(guard)
@@ -293,11 +418,50 @@ class RegexSolver:
         The full rows — bottom leaves included, so the guards cover the
         whole domain — go to the recorder; the exploration loop only
         sees the live ones.
+
+        With a warm store attached, rows instantiated from a fragment
+        are used as-is (skipping the derivative build entirely);
+        freshly computed rows get their successor sets frozen into
+        uid-sorted tuples, so exploration order — and therefore the
+        witness — is identical between the capturing cold run and any
+        warm replay of the fragment.
         """
-        rows = self.engine.transitions(vertex)
+        rows = self._warm_rows.get(vertex) if self._warm_rows else None
+        if rows is None and self._warm_sources:
+            rows = self._materialize(vertex)
+        if rows is None:
+            rows = tuple(
+                (guard, tuple(sorted(targets, key=_by_uid)))
+                for guard, targets in self.engine.transitions(vertex)
+            )
+        if self._capture is not None:
+            self._capture[1][vertex] = rows
         if recorder is not None:
             recorder.record_rows(vertex, rows)
         return [(guard, targets) for guard, targets in rows if targets]
+
+    def _materialize(self, vertex):
+        """Promote a lazily-held fragment state into live warm rows.
+
+        Materializing parses the state's successor texts and registers
+        *them* as lazy sources, so the fragment unrolls exactly as far
+        as exploration walks it.  Any decode failure degrades the
+        state to a cold derivative build."""
+        source = self._warm_sources.pop(vertex, None)
+        if source is None:
+            return None
+        lazy, idx = source
+        rows = lazy.rows_for(idx)
+        if rows is None:
+            return None
+        self._warm_rows[vertex] = rows
+        for _ranges, targets in lazy.row_targets(idx):
+            for target_idx in targets:
+                node = lazy.node(target_idx)
+                if (node is not None and node not in self._warm_rows
+                        and node not in self._warm_sources):
+                    self._warm_sources[node] = (lazy, target_idx)
+        return rows
 
     def _reconstruct(self, parent, target):
         """Witness string plus the (state, guard, char, successor)
@@ -326,6 +490,8 @@ class RegexSolver:
             "meld_memo_misses": engine.meld_memo_misses,
             "algebra_ops": self.algebra.op_count,
             "interned": self.builder.interned_count,
+            "store_hits": self._store_hits_n,
+            "store_misses": self._store_misses_n,
             "fuel_used": budget.fuel_used,
             "started": time.perf_counter(),
         }
@@ -348,6 +514,8 @@ class RegexSolver:
             "meld_memo_misses": engine.meld_memo_misses,
             "algebra_ops": self.algebra.op_count,
             "interned_regexes": self.builder.interned_count,
+            "store_hits": self._store_hits_n,
+            "store_misses": self._store_misses_n,
             "fuel_used": budget.fuel_used,
         })
         return SolverStats(
@@ -364,6 +532,8 @@ class RegexSolver:
             meld_memo_hits=engine.meld_memo_hits - mark["meld_memo_hits"],
             meld_memo_misses=engine.meld_memo_misses - mark["meld_memo_misses"],
             algebra_ops=self.algebra.op_count - mark["algebra_ops"],
+            store_hits=self._store_hits_n - mark["store_hits"],
+            store_misses=self._store_misses_n - mark["store_misses"],
             fuel_used=budget.fuel_used - mark["fuel_used"],
             elapsed=time.perf_counter() - mark["started"],
             interned_regexes=self.builder.interned_count - mark["interned"],

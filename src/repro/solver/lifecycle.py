@@ -91,6 +91,7 @@ class EngineState:
         self.policy = policy
         self._dfas = []
         self._pins = {}
+        self._root_providers = []
         self._holds = 0
         scope = self.obs.metrics.scope("cache")
         self._scope = scope
@@ -104,6 +105,18 @@ class EngineState:
         transition rows are accounted and compacted with the rest."""
         if dfa not in self._dfas:
             self._dfas.append(dfa)
+
+    def add_root_provider(self, provider):
+        """Register a callable returning extra mark roots for every
+        compaction.  The warm store registers one so its instantiated
+        fragment rows stay live: compaction must never evict a node a
+        later query can still key into — evicting it would re-intern
+        the same pattern to a *new* uid while the fragment's rows keep
+        referencing the old node, silently turning warm hits cold (the
+        stale-uid resurrection bug; see DESIGN.md compaction
+        soundness)."""
+        if provider not in self._root_providers:
+            self._root_providers.append(provider)
 
     def pin(self, *regexes):
         """Keep these regexes (and everything reachable from them)
@@ -251,6 +264,8 @@ class EngineState:
         stack = [builder.empty, builder.epsilon, builder.dot, builder.full]
         stack.extend(self._pins.values())
         stack.extend(keep)
+        for provider in self._root_providers:
+            stack.extend(provider())
 
         def push_tree_leaves(tree):
             tstack = [tree]

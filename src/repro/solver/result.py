@@ -83,6 +83,7 @@ class SolverStats:
         "sat_checks", "deriv_memo_hits", "deriv_memo_misses",
         "meld_memo_hits", "meld_memo_misses", "algebra_ops",
         "fuel_used", "elapsed", "interned_regexes",
+        "store_hits", "store_misses",
     )
 
     #: dict-valued companions to the per-query delta fields: ``lifetime``

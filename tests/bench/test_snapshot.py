@@ -136,6 +136,11 @@ def test_collect_end_to_end_tiny(tmp_path):
     assert "sbd" in engines and len(engines) >= 3
     suites = {c["suite"] for c in snap["cells"].values()}
     assert {"kaluza", "norn_nb", "norn_b", "slog"} <= suites
+    # the zipfian store suite contributes its cold/warm pair, so the
+    # regression gate below covers warm-replay latency too
+    assert {"sbd/store_cold", "sbd/store_warm"} <= set(snap["cells"])
+    assert snap["config"]["store"]["workload"] > 0
+    assert snap["cells"]["sbd/store_warm"]["counters"]["store_hits"] > 0
     assert snap["config"]["stride"] == 60
     assert snap["profile"]["attributed_pct"] >= 90.0
     assert snap["profile"]["hotspots"]

@@ -1,0 +1,80 @@
+"""The warm store through the worker pool: shared snapshots, warm
+restarts across recycling, and verdict parity with serial solves.
+
+Workers load the ``store_path`` snapshot on spawn — including the
+replacements spawned after recycling, which is what turns a recycle
+from a cold restart into a warm one.  ``store_save`` ships each
+worker's newly-captured fragments back through its final stats message
+and merges them into the snapshot file at batch end.
+"""
+
+import json
+
+from repro.serve import Job, solve_batch
+
+BUDGET = {"fuel": 100000, "seconds": 5.0}
+
+PATTERNS = [
+    "(a|b)*abb",
+    "~(.*ab.*)&(a|b|c){2,8}",
+    "(ab|ba){2,5}c?",
+    "a{2,4}&~(.*b.*)",
+]
+
+
+def _jobs(repeat=2):
+    return [
+        Job("%s-%d" % (p, i), "pattern", p)
+        for i in range(repeat)
+        for p in PATTERNS
+    ]
+
+
+def _store_hits(report):
+    return sum(
+        r.get("store", {}).get("hits", 0) for r in report.worker_reports
+    )
+
+
+def test_capture_then_warm_batch_agree(tmp_path):
+    store = str(tmp_path / "store.json")
+    jobs = _jobs()
+    capture = solve_batch(jobs, workers=2, store_path=store,
+                          store_save=store, **BUDGET)
+    with open(store, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    assert snapshot["fragments"], "capture batch stored no fragments"
+
+    warm = solve_batch(jobs, workers=2, store_path=store, **BUDGET)
+    assert [r.status for r in capture.results] \
+        == [r.status for r in warm.results]
+    assert [r.witness for r in capture.results] \
+        == [r.witness for r in warm.results]
+    assert _store_hits(warm) > 0
+
+
+def test_recycled_workers_restart_warm(tmp_path):
+    """With max_tasks=1 every task lands on a freshly-spawned worker;
+    the shared snapshot is what keeps those replacements warm."""
+    store = str(tmp_path / "store.json")
+    jobs = _jobs(repeat=1)
+    solve_batch(jobs, workers=1, store_path=store, store_save=store,
+                **BUDGET)
+    report = solve_batch(jobs, workers=1, max_tasks=1, store_path=store,
+                         **BUDGET)
+    assert report.recycled > 0, "max_tasks=1 never recycled a worker"
+    assert _store_hits(report) == len(jobs), (
+        "recycled workers solved cold despite the shared snapshot"
+    )
+
+
+def test_store_save_merges_across_batches(tmp_path):
+    store = str(tmp_path / "store.json")
+    solve_batch([Job("a", "pattern", PATTERNS[0])], workers=1,
+                store_path=store, store_save=store, **BUDGET)
+    solve_batch([Job("b", "pattern", PATTERNS[1])], workers=1,
+                store_path=store, store_save=store, **BUDGET)
+    with open(store, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    keys = {f["key"] for f in snapshot["fragments"]}
+    assert len(keys) >= 2, "second batch clobbered the first's fragments"

@@ -300,3 +300,91 @@ def test_check_without_explain_has_no_explanation_line(capsys):
     status, out = run(capsys, "--ascii", "--stats", "check", "a&b")
     assert status == 0
     assert "explanation:" not in out
+
+
+# -- status/replay diagnostics (no tracebacks, clean exit codes) --------------
+
+
+def test_status_missing_dir_is_clean_diagnostic(capsys, tmp_path):
+    status = main(["status", str(tmp_path / "never-recorded")])
+    captured = capsys.readouterr()
+    assert status == 2
+    assert "is not a directory" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_status_empty_dir_is_clean_diagnostic(capsys, tmp_path):
+    empty = tmp_path / "empty-flight"
+    empty.mkdir()
+    status = main(["status", str(empty)])
+    captured = capsys.readouterr()
+    assert status == 2
+    assert "no flight streams" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_status_torn_event_line_still_renders(capsys, tmp_path):
+    """A crash mid-write leaves a torn last line; status must render
+    what is readable instead of dying on the tail."""
+    torn = tmp_path / "torn-flight"
+    torn.mkdir()
+    (torn / "events-w0.jsonl").write_text(
+        '{"type": "ev", "ts": 1.0, "name": "pool.start"}\n{"half'
+    )
+    status, out = run(capsys, "status", str(torn))
+    assert status == 0
+    assert out.startswith("flight ")
+
+
+def test_replay_missing_path_is_clean_diagnostic(capsys, tmp_path):
+    status = main(["replay", str(tmp_path / "nothing-here")])
+    captured = capsys.readouterr()
+    assert status == 2
+    assert "does not exist" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_replay_torn_artifact_is_skipped_with_diagnostic(capsys, tmp_path):
+    flight = tmp_path / "flight"
+    slow = flight / "slow"
+    slow.mkdir(parents=True)
+    (slow / "torn.json").write_text('{"torn": ')
+    status = main(["replay", str(flight)])
+    captured = capsys.readouterr()
+    assert status == 2  # nothing replayable survived
+    assert "skipping" in captured.err
+    assert "1 skipped" in captured.out
+    assert "Traceback" not in captured.err
+
+
+# -- the warm store through the CLI -------------------------------------------
+
+
+def test_check_store_roundtrip_warm_hit(capsys, tmp_path):
+    store = tmp_path / "store.json"
+    pattern = "(a|b)*abb"
+    cold_status, cold_out = run(
+        capsys, "--store", str(store), "--stats", "check", pattern
+    )
+    assert cold_status == 0
+    assert store.exists()
+    assert "store: " in cold_out  # save line reports fragment count
+    warm_status, warm_out = run(
+        capsys, "--store", str(store), "--stats", "check", pattern
+    )
+    assert warm_status == 0
+    assert cold_out.splitlines()[0] == warm_out.splitlines()[0]
+    assert "store hit ratio: 100.0% (1/1 fragment lookups)" in warm_out
+
+
+def test_check_store_corrupt_file_starts_cold(capsys, tmp_path):
+    store = tmp_path / "store.json"
+    store.write_text("{not json")
+    status = main(["--store", str(store), "check", "a|b"])
+    captured = capsys.readouterr()
+    assert status == 0  # verdict unaffected
+    assert "starting cold" in captured.err
+    # and the save path rewrites a valid snapshot over the corrupt one
+    import json as json_mod
+
+    assert "fragments" in json_mod.loads(store.read_text())

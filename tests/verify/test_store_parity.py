@@ -1,0 +1,127 @@
+"""The cache-correctness gate: a seeded campaign, solved cold and then
+pre-warmed, must agree on everything observable.
+
+A warm solve replays recorded transition rows instead of deriving
+them, so *any* divergence — verdict, witness, or certificate shape —
+is a store bug (stale fragment, key aliasing, row-order drift).  Every
+case runs on a fresh builder both times; the only difference between
+the phases is the store's content.  A disagreement is shrunk to its
+pattern and frozen into ``tests/corpus/`` before the test fails, so
+the reproducer outlives the failing run.
+"""
+
+import random
+
+import pytest
+
+from repro.alphabet import IntervalAlgebra
+from repro.regex import RegexBuilder, parse, to_pattern
+from repro.solver import Budget, RegexSolver
+from repro.solver.store import SolverStore
+from repro.verify.campaign import RegexGen
+from repro.verify.corpus import freeze
+
+SEED = 0x5BD
+CASES = 60
+ALPHABET = "ab01"
+
+
+def _campaign_patterns():
+    """The seeded pattern list (text form, so each phase re-parses on
+    its own fresh builder)."""
+    rng = random.Random(SEED)
+    builder = RegexBuilder(IntervalAlgebra(127))
+    gen = RegexGen(rng, builder, ALPHABET)
+    patterns = []
+    while len(patterns) < CASES:
+        regex = gen.regex(rng.randint(1, 3))
+        patterns.append(to_pattern(regex, builder.algebra))
+    return patterns
+
+
+def _normalize_certificate(cert):
+    """Certificates embed builder uids, which differ between builders
+    by construction; map every uid to its pattern text so cold and
+    warm certificates become comparable."""
+    if cert is None:
+        return None
+    names = {s["uid"]: s["pattern"] for s in cert["states"]}
+
+    def state_key(state):
+        rows = sorted(
+            (
+                tuple(tuple(r) for r in row["guard"]),
+                tuple(sorted(names[t] for t in row["targets"])),
+            )
+            for row in state.get("rows", [])
+        )
+        return (state["pattern"], state.get("nullable"), tuple(rows))
+
+    out = {
+        "kind": cert["kind"],
+        "pattern": cert["pattern"],
+        "states": sorted(state_key(s) for s in cert["states"]),
+    }
+    if "witness" in cert:
+        out["witness"] = cert["witness"]
+    return out
+
+
+def _solve(pattern, store):
+    builder = RegexBuilder(IntervalAlgebra(127))
+    solver = RegexSolver(builder, store=store, explain=True)
+    result = solver.is_satisfiable(
+        parse(builder, pattern), Budget(fuel=200000, seconds=10.0)
+    )
+    cert = None
+    explanation = result.explanation
+    if explanation is not None and explanation.certifiable():
+        cert = explanation.certificate()
+    return result, _normalize_certificate(cert)
+
+
+def _freeze_disagreement(pattern, cold, warm):
+    entry = {
+        "id": "store-parity-%08x" % (hash(pattern) & 0xFFFFFFFF),
+        "kind": "sat",
+        "description": "Cold and warm-store solves disagreed on this "
+                       "pattern (cold %s, warm %s): a warm replay must "
+                       "be observably identical to the cold build."
+                       % (cold.status, warm.status),
+        "found_by": "store cold/warm parity campaign (seed 0x5BD)",
+        "pattern": pattern,
+        "expected": cold.status,
+    }
+    return freeze(entry)
+
+
+def test_campaign_cold_then_warm_is_observably_identical():
+    patterns = _campaign_patterns()
+    store = SolverStore()
+    cold = {}
+    for pattern in patterns:
+        cold[pattern] = _solve(pattern, store)
+    assert store.hits + store.misses >= len(set(patterns))
+    captured = len(store)
+    assert captured > 0, "campaign captured no fragments at all"
+
+    # phase 2: fresh store preloaded with phase 1's fragments only
+    # (serialization round-trip included, as serve workers would see)
+    warmed = SolverStore().from_dict(store.to_dict())
+    for pattern in patterns:
+        cold_result, cold_cert = cold[pattern]
+        warm_result, warm_cert = _solve(pattern, warmed)
+        if (warm_result.status != cold_result.status
+                or warm_result.witness != cold_result.witness):
+            path = _freeze_disagreement(pattern, cold_result, warm_result)
+            pytest.fail(
+                "cold/warm disagreement on %r (cold %s/%r, warm %s/%r); "
+                "frozen as %s" % (
+                    pattern, cold_result.status, cold_result.witness,
+                    warm_result.status, warm_result.witness, path,
+                )
+            )
+        assert warm_cert == cold_cert, (
+            "certificates diverged on %r" % pattern
+        )
+    assert warmed.hits > 0, "pre-warmed campaign never hit the store"
