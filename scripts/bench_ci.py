@@ -61,6 +61,10 @@ def build_parser():
     parser.add_argument("--no-store", action="store_true",
                         help="skip the zipfian cold-vs-warm store suite "
                              "(sbd/store_cold and sbd/store_warm cells)")
+    parser.add_argument("--no-serving", action="store_true",
+                        help="skip the concurrent-clients daemon suite "
+                             "(sbd/serve_latency and sbd/serve_throughput "
+                             "cells)")
     parser.add_argument("--time-rel", type=float,
                         default=compare_mod.DEFAULT_TIME_REL,
                         help="relative timing-regression gate (default "
@@ -114,6 +118,7 @@ def main(argv=None):
         root, quick=args.quick, stride=args.stride, fuel=args.fuel,
         seconds=args.seconds, with_profile=not args.no_profile,
         progress=progress, jobs=args.jobs, with_store=not args.no_store,
+        with_serving=not args.no_serving,
     )
     path = snapshot_mod.write_snapshot(snapshot, root)
     print("wrote %s (%d cells, %d problems x %d engines)" % (
@@ -132,6 +137,13 @@ def main(argv=None):
                   store_cfg["speedup"], store_cfg["workload"],
                   store_cfg["distinct"],
               ))
+    serving_cfg = snapshot["config"].get("serving")
+    if serving_cfg:
+        print("serving: %d clients, %s qps, warm hit ratio %s" % (
+            serving_cfg["clients"],
+            serving_cfg["throughput_qps"],
+            serving_cfg["hit_ratio"],
+        ))
     if snapshot.get("profile"):
         prof = snapshot["profile"]
         top = prof["hotspots"][0]["name"] if prof["hotspots"] else "-"

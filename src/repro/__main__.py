@@ -204,6 +204,68 @@ def build_parser():
     explain.add_argument("--no-check", action="store_true",
                          help="skip the independent certificate check")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent solver daemon: a long-lived worker "
+             "pool behind a Unix/TCP socket with admission control "
+             "(see the README daemon section)",
+    )
+    serve.add_argument("--socket", metavar="PATH", default=None,
+                       help="Unix socket path to listen on")
+    serve.add_argument("--tcp", metavar="HOST:PORT", default=None,
+                       help="TCP address to listen on instead (port 0 "
+                            "binds ephemerally and prints the port)")
+    serve.add_argument("--jobs", type=int, default=2,
+                       help="worker processes (default 2)")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="hard admission watermark: reject every "
+                            "submission past this backlog (default 256)")
+    serve.add_argument("--max-backlog", type=float, default=30.0,
+                       metavar="S",
+                       help="hard watermark on estimated backlog seconds "
+                            "(default 30)")
+    serve.add_argument("--client-budget", type=int, default=64,
+                       metavar="N",
+                       help="per-client token bucket capacity (default 64)")
+    serve.add_argument("--client-refill", type=float, default=8.0,
+                       metavar="PER_S",
+                       help="per-client token refill rate (default 8/s)")
+    serve.add_argument("--worker-max-tasks", type=int, default=None,
+                       metavar="N",
+                       help="recycle each worker after N tasks")
+    serve.add_argument("--worker-max-rss-mb", type=int, default=None,
+                       metavar="MB",
+                       help="recycle a worker whose RSS reaches MB MiB")
+    serve.add_argument("--worker-compact", type=int, default=None,
+                       metavar="N",
+                       help="compact worker solver caches past N entries")
+    serve.add_argument("--flight-dir", metavar="DIR", default=None,
+                       help="record the daemon's serving as a flight "
+                            "(events, heartbeats, slow-query artifacts)")
+    serve.add_argument("--no-shutdown-op", action="store_true",
+                       help="refuse the protocol's shutdown op (stop the "
+                            "daemon with SIGINT instead)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit jobs to a running daemon and print the results",
+    )
+    submit.add_argument("--socket", metavar="PATH", default=None,
+                        help="daemon Unix socket path")
+    submit.add_argument("--tcp", metavar="HOST:PORT", default=None,
+                        help="daemon TCP address")
+    submit.add_argument("--kind", choices=("pattern", "smt2"),
+                        default="pattern",
+                        help="payload kind (default pattern)")
+    submit.add_argument("payloads", nargs="*",
+                        help="patterns (or .smt2 paths with --kind smt2; "
+                             "file contents are shipped)")
+    submit.add_argument("--daemon-stats", action="store_true",
+                        help="also print the daemon's serving stats "
+                             "(SLO quantiles, admission counters)")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="ask the daemon to shut down after the jobs")
+
     verify = sub.add_parser(
         "verify",
         help="cross-engine differential verification: fuzz all four "
@@ -287,9 +349,11 @@ def _open_store(args):
 
 def _save_store(args, store, out):
     """Persist an in-process ``--store`` back to disk, reporting the
-    session's hit/miss totals."""
+    session's hit/miss totals.  Saved via the atomic merge path: a
+    daemon or a second CLI run writing the same file concurrently is
+    folded in, never clobbered."""
     try:
-        store.save(args.store)
+        store.save_merged(args.store)
     except OSError as exc:
         print("store: cannot write %s: %s" % (args.store, exc),
               file=sys.stderr)
@@ -632,6 +696,163 @@ def main(argv=None):
                 status = status or 1
             else:
                 out.append("wrote %s" % path)
+    elif args.command == "serve":
+        from repro.serve.admission import AdmissionController
+        from repro.serve.daemon import SolverDaemon
+
+        if bool(args.socket) == bool(args.tcp):
+            print("serve: need exactly one of --socket PATH or "
+                  "--tcp HOST:PORT", file=sys.stderr)
+            return 2
+        host = port = None
+        if args.tcp:
+            host, _, port_text = args.tcp.rpartition(":")
+            host = host or "127.0.0.1"
+            try:
+                port = int(port_text)
+            except ValueError:
+                print("serve: bad --tcp address %r" % args.tcp,
+                      file=sys.stderr)
+                return 2
+        admission = AdmissionController(
+            max_queue=args.max_queue, max_backlog_s=args.max_backlog,
+            client_capacity=args.client_budget,
+            client_refill_per_s=args.client_refill,
+        )
+        daemon = SolverDaemon(
+            path=args.socket, host=host, port=port, workers=args.jobs,
+            admission=admission, allow_shutdown=not args.no_shutdown_op,
+            fuel=args.fuel, seconds=args.seconds,
+            max_char=127 if args.ascii else None,
+            max_tasks=args.worker_max_tasks,
+            max_rss_mb=args.worker_max_rss_mb,
+            compact_entries=args.worker_compact,
+            flight_dir=args.flight_dir,
+            store_path=args.store, store_save=args.store,
+        )
+        address = daemon.start()
+        print("serving on %s (%d workers, queue limit %d, backlog limit "
+              "%.0fs)" % (address, args.jobs, args.max_queue,
+                          args.max_backlog), flush=True)
+        # SIGTERM's default action would kill this process without
+        # running the finally below, orphaning the worker fleet; route
+        # it into the same graceful drain as Ctrl-C
+        import signal as _signal
+
+        def _on_term(signum, frame):
+            print("terminated; draining", flush=True)
+            daemon._stop.set()
+
+        try:
+            previous_term = _signal.signal(_signal.SIGTERM, _on_term)
+        except (ValueError, OSError):  # pragma: no cover - exotic host
+            previous_term = None
+        try:
+            while not daemon._stop.wait(0.5):
+                pass
+        except KeyboardInterrupt:
+            print("interrupted; draining", flush=True)
+        finally:
+            daemon.stop()
+            if previous_term is not None:
+                _signal.signal(_signal.SIGTERM, previous_term)
+        stats = daemon.stats()
+        print("served %d job(s), dropped %d" % (
+            stats["served"], stats["dropped"],
+        ))
+        return 0
+    elif args.command == "submit":
+        import os
+
+        from repro.serve.client import DaemonClient, DaemonError
+        from repro.serve.jobs import Job
+
+        if bool(args.socket) == bool(args.tcp):
+            print("submit: need exactly one of --socket PATH or "
+                  "--tcp HOST:PORT", file=sys.stderr)
+            return 2
+        if not args.payloads and not args.daemon_stats \
+                and not args.shutdown:
+            print("submit: nothing to do (no payloads, no --daemon-stats, "
+                  "no --shutdown)", file=sys.stderr)
+            return 2
+        jobs = []
+        for i, payload in enumerate(args.payloads):
+            if args.kind == "smt2" and os.path.exists(payload):
+                with open(payload, "r", encoding="utf-8") as handle:
+                    payload = handle.read()
+            jobs.append(Job("job-%04d" % i, args.kind, payload))
+        status = 0
+        try:
+            with DaemonClient(args.socket or args.tcp) as client:
+                if jobs:
+                    outcomes = client.solve(
+                        jobs, timeout=args.seconds * max(len(jobs), 1) + 30.0,
+                    )
+                    for job in jobs:
+                        reply = outcomes.get(job.name) or {}
+                        kind = reply.get("type")
+                        if kind == "result":
+                            line = "%s: %s" % (job.name, reply.get("status"))
+                            if reply.get("model"):
+                                line += "  " + " ".join(
+                                    "%s=%r" % kv for kv in
+                                    sorted(reply["model"].items())
+                                )
+                            elif reply.get("witness") is not None:
+                                line += "  witness=%r" % reply["witness"]
+                            if reply.get("error"):
+                                line += "  [%s: %s]" % (
+                                    reply["error"].get("type"),
+                                    reply["error"].get("message"),
+                                )
+                                status = 1
+                            elif reply.get("status") == "unknown":
+                                status = status or 2
+                            out.append(line)
+                        elif kind == "overloaded":
+                            out.append("%s: REJECTED (%s; retry after %ss)"
+                                       % (job.name, reply.get("reason"),
+                                          reply.get("retry_after_s")))
+                            status = 1
+                        else:
+                            out.append("%s: protocol error %r"
+                                       % (job.name, reply.get("message")))
+                            status = 1
+                if args.daemon_stats:
+                    stats = client.stats()
+                    latency = stats.get("latency") or {}
+                    out.append(
+                        "daemon: uptime %.0fs served %d dropped %d "
+                        "depth %d" % (
+                            stats.get("uptime_s", 0.0),
+                            stats.get("served", 0),
+                            stats.get("dropped", 0),
+                            stats.get("queue_depth", 0),
+                        ))
+                    out.append(
+                        "latency: p50=%s p90=%s p99=%s (n=%s)" % (
+                            latency.get("p50_s"), latency.get("p90_s"),
+                            latency.get("p99_s"), latency.get("window"),
+                        ))
+                    admission = stats.get("admission") or {}
+                    out.append(
+                        "admission: accepted=%s degraded=%s rejected=%s"
+                        % (admission.get("accepted"),
+                           admission.get("degraded"),
+                           admission.get("rejected")))
+                    store_stats = stats.get("store") or {}
+                    if store_stats.get("hits") or store_stats.get("misses"):
+                        out.append("store: hits=%s misses=%s ratio=%s" % (
+                            store_stats.get("hits"),
+                            store_stats.get("misses"),
+                            store_stats.get("hit_ratio")))
+                if args.shutdown:
+                    client.shutdown()
+                    out.append("shutdown requested")
+        except (DaemonError, OSError) as exc:
+            print("submit: %s" % exc, file=sys.stderr)
+            return 2
     elif args.command == "verify":
         from repro.verify import load_all, replay_entry, run_campaign
 

@@ -24,7 +24,10 @@ DEFAULT_SOLVED_DROP = 1
 #: medians stay put (mass moving into the budget cap).
 DEFAULT_TIMEOUT_RATE_RISE = 0.10
 
-TIME_METRICS = ("median_s", "p90_s")
+#: ``p99_s`` only exists on the serving cells (older snapshots carry
+#: none at all) — the comparison loop skips a metric whenever either
+#: side lacks it, so the tail-latency gate is backward compatible.
+TIME_METRICS = ("median_s", "p90_s", "p99_s")
 
 
 def _delta(cell, metric, before, after, **extra):

@@ -261,7 +261,7 @@ def profile_pass(problems, builder, fuel, seconds, max_problems=PROFILE_PROBLEMS
 
 def collect(root, quick=False, stride=None, fuel=None, seconds=None,
             with_profile=True, seq=None, progress=None, jobs=1,
-            with_store=True):
+            with_store=True, with_serving=True):
     """Run the evaluation matrix and assemble (not write) a snapshot.
 
     ``quick`` selects the CI-sized tier (per-suite subsampling and a
@@ -279,6 +279,12 @@ def collect(root, quick=False, stride=None, fuel=None, seconds=None,
     budgets and folds its ``sbd/store_cold`` / ``sbd/store_warm``
     cells into the snapshot, so the regression gate covers warm-replay
     performance the same way it covers every other suite.
+
+    ``with_serving`` additionally runs the concurrent-clients daemon
+    suite (:func:`repro.bench.serving.run_serving_suite`) and folds
+    its ``sbd/serve_latency`` / ``sbd/serve_throughput`` cells in —
+    the p50/p90/p99 serving SLOs and throughput-under-load become
+    gated numbers, not dashboards.
     """
     tier = QUICK_TIER if quick else FULL_TIER
     stride = tier["stride"] if stride is None else stride
@@ -324,5 +330,18 @@ def collect(root, quick=False, stride=None, fuel=None, seconds=None,
             "workload": warm["workload"],
             "distinct": warm["distinct"],
             "speedup": round(warm["speedup"], 3),
+        }
+    if with_serving:
+        from repro.bench.serving import run_serving_suite
+
+        serving = run_serving_suite(fuel=fuel, seconds=seconds)
+        snapshot["cells"].update(serving["cells"])
+        snapshot["config"]["serving"] = {
+            "clients": serving["clients"],
+            "workload": serving["workload"],
+            "throughput_qps": round(serving["throughput_qps"], 2)
+            if serving["throughput_qps"] else None,
+            "hit_ratio": round(serving["hit_ratio"], 3)
+            if serving["hit_ratio"] is not None else None,
         }
     return snapshot

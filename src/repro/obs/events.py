@@ -64,6 +64,15 @@ EVENT_KINDS = {
     "worker.reap": ("reaped", "name"),
     "worker.recycle": ("recycled",),
     "task.retry": ("name", "index"),
+    # serve.daemon — the long-lived serving front end
+    "daemon.start": ("address",),
+    "daemon.stop": ("served",),
+    "client.connect": ("client",),
+    "client.disconnect": ("client",),
+    "job.accept": ("client", "job", "degraded"),
+    "job.reject": ("client", "reason"),
+    "job.result": ("client", "job", "status", "latency_s"),
+    "job.drop": ("client", "job"),
 }
 
 

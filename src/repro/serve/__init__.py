@@ -17,16 +17,23 @@ retry-on-crash, and order-stable result aggregation::
     print(report.summary_line())   # wall vs aggregate CPU time
 """
 
+from repro.serve.admission import Admission, AdmissionController, TokenBucket
+from repro.serve.client import DaemonClient, DaemonError, parse_address
+from repro.serve.daemon import SolverDaemon
 from repro.serve.jobs import (
     Job, jobs_from_directory, jobs_from_files, jobs_from_formulas,
     jobs_from_jsonl, load_jobs,
 )
-from repro.serve.pool import DEFAULT_REAP_GRACE, WorkerPool, solve_batch
+from repro.serve.pool import (
+    DEFAULT_REAP_GRACE, PoolInterrupted, WorkerPool, solve_batch,
+)
 from repro.serve.report import BatchReport, TaskResult, merge_numeric
 
 __all__ = [
     "Job", "jobs_from_directory", "jobs_from_files", "jobs_from_formulas",
     "jobs_from_jsonl", "load_jobs",
-    "WorkerPool", "solve_batch", "DEFAULT_REAP_GRACE",
+    "WorkerPool", "solve_batch", "DEFAULT_REAP_GRACE", "PoolInterrupted",
     "BatchReport", "TaskResult", "merge_numeric",
+    "SolverDaemon", "DaemonClient", "DaemonError", "parse_address",
+    "Admission", "AdmissionController", "TokenBucket",
 ]

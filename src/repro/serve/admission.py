@@ -1,0 +1,262 @@
+"""Admission control for the solver daemon.
+
+The queue in front of the pool must not grow without bound: a burst of
+submissions beyond what the workers can absorb turns every queued job's
+latency into the whole backlog's service time, and the daemon's memory
+into the burst's size.  The controller decides, per submission, one of
+three outcomes *before* the job touches the queue:
+
+``accept``
+    queue at normal priority;
+``degrade``
+    queue at degraded priority — dispatched only when no
+    normal-priority job waits.  The fate of clients that have exhausted
+    their token budget while the daemon still has headroom;
+``reject``
+    do not queue; the client gets a structured ``overloaded`` response
+    carrying ``retry_after_s``.  The fate of *everyone* past the hard
+    watermark, and of over-budget clients past the soft watermark.
+
+Two watermarks, two signals each:
+
+* **queue depth** — jobs accepted but not yet finished; and
+* **estimated backlog seconds** — depth × (EWMA of observed service
+  time) / workers, i.e. roughly how long a job admitted *now* would
+  wait before running.
+
+The hard watermark (``max_queue`` / ``max_backlog_s``) protects the
+daemon: nobody is admitted past it, compliant or not.  The soft
+watermark (half of each, by default) protects *compliant clients* from
+over-budget ones: between soft and hard, over-budget clients are
+rejected outright; below soft they are merely degraded.
+
+Per-client budgets are classic token buckets: ``client_capacity``
+tokens, refilled at ``client_refill_per_s``.  Each admitted job costs
+one token; a rejection refunds it (the client got no service).
+
+Everything takes an injectable monotonic ``clock`` so tests can drive
+time deterministically.
+"""
+
+import threading
+import time
+
+#: Bounds on the retry-after hint: never tell a client to hammer
+#: sub-100ms, never to go away for more than a minute.
+MIN_RETRY_S = 0.1
+MAX_RETRY_S = 60.0
+
+
+class TokenBucket:
+    """One client's budget: ``capacity`` tokens, ``refill_per_s``
+    refill, lazily accrued on access against ``clock``."""
+
+    __slots__ = ("capacity", "refill_per_s", "clock", "_level", "_stamp")
+
+    def __init__(self, capacity, refill_per_s, clock=time.monotonic):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self.clock = clock
+        self._level = float(capacity)
+        self._stamp = clock()
+
+    def _accrue(self):
+        now = self.clock()
+        if self.refill_per_s > 0.0 and now > self._stamp:
+            self._level = min(
+                self.capacity,
+                self._level + (now - self._stamp) * self.refill_per_s,
+            )
+        self._stamp = now
+
+    def take(self, cost=1.0):
+        """Spend ``cost`` tokens; returns True when the budget covered
+        it.  On False the level is left unchanged (no debt)."""
+        self._accrue()
+        if self._level >= cost:
+            self._level -= cost
+            return True
+        return False
+
+    def refund(self, cost=1.0):
+        """Return tokens from a submission that was not served."""
+        self._accrue()
+        self._level = min(self.capacity, self._level + cost)
+
+    def level(self):
+        self._accrue()
+        return self._level
+
+    def seconds_until(self, cost=1.0):
+        """How long until ``cost`` tokens will be available (0 when
+        they already are, infinity when refill is off)."""
+        self._accrue()
+        deficit = cost - self._level
+        if deficit <= 0.0:
+            return 0.0
+        if self.refill_per_s <= 0.0:
+            return float("inf")
+        return deficit / self.refill_per_s
+
+
+class Admission:
+    """One admission verdict."""
+
+    __slots__ = ("decision", "reason", "retry_after_s")
+
+    def __init__(self, decision, reason=None, retry_after_s=None):
+        self.decision = decision  # "accept" | "degrade" | "reject"
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+    @property
+    def accepted(self):
+        return self.decision in ("accept", "degrade")
+
+    @property
+    def degraded(self):
+        return self.decision == "degrade"
+
+    def __repr__(self):
+        return "Admission(%s, reason=%r, retry_after_s=%r)" % (
+            self.decision, self.reason, self.retry_after_s,
+        )
+
+
+class AdmissionController:
+    """The daemon's gatekeeper.  Thread-safe: reader threads call
+    :meth:`admit` concurrently while the pool thread calls
+    :meth:`observe`."""
+
+    def __init__(self, max_queue=256, max_backlog_s=30.0,
+                 degrade_queue=None, degrade_backlog_s=None,
+                 client_capacity=64, client_refill_per_s=8.0,
+                 service_prior_s=0.02, ewma_alpha=0.2,
+                 clock=time.monotonic):
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        self.max_queue = max_queue
+        self.max_backlog_s = max_backlog_s
+        self.degrade_queue = (
+            degrade_queue if degrade_queue is not None else max_queue // 2
+        )
+        self.degrade_backlog_s = (
+            degrade_backlog_s if degrade_backlog_s is not None
+            else max_backlog_s / 2.0
+        )
+        self.client_capacity = client_capacity
+        self.client_refill_per_s = client_refill_per_s
+        #: EWMA of observed per-job service seconds, seeded with a
+        #: prior so the very first backlog estimate is not zero
+        self.service_ewma_s = service_prior_s
+        self.ewma_alpha = ewma_alpha
+        self.clock = clock
+        self._buckets = {}
+        self._lock = threading.Lock()
+        self.accepted = 0
+        self.degraded = 0
+        self.rejected = 0
+
+    # -- feedback -----------------------------------------------------------
+
+    def observe(self, elapsed_s):
+        """Fold one completed job's service time into the EWMA."""
+        if elapsed_s is None or elapsed_s < 0.0:
+            return
+        with self._lock:
+            self.service_ewma_s += self.ewma_alpha * (
+                elapsed_s - self.service_ewma_s
+            )
+
+    def backlog_seconds(self, depth, workers):
+        """Estimated wait for a job admitted behind ``depth`` others."""
+        return depth * self.service_ewma_s / max(1, workers)
+
+    # -- the verdict --------------------------------------------------------
+
+    def _bucket(self, client_id):
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = self._buckets[client_id] = TokenBucket(
+                self.client_capacity, self.client_refill_per_s,
+                clock=self.clock,
+            )
+        return bucket
+
+    def _retry_after(self, depth, workers, bucket=None):
+        """How long until this submission would plausibly fit: the time
+        for the queue to drain back under the hard watermark, plus (for
+        an over-budget client) the wait for a token."""
+        excess = max(0, depth - self.max_queue + 1)
+        drain = excess * self.service_ewma_s / max(1, workers)
+        wait = max(drain, MIN_RETRY_S)
+        if bucket is not None:
+            token_wait = bucket.seconds_until(1.0)
+            if token_wait != float("inf"):
+                wait = max(wait, token_wait)
+        return min(wait, MAX_RETRY_S)
+
+    def admit(self, client_id, depth, workers):
+        """Decide one submission.  ``depth`` is the pool backlog
+        (queued + in flight) *before* this job; ``workers`` sizes the
+        drain rate."""
+        with self._lock:
+            bucket = self._bucket(client_id)
+            in_budget = bucket.take(1.0)
+            backlog_s = self.backlog_seconds(depth, workers)
+            # hard watermark: nobody gets in
+            if depth >= self.max_queue or backlog_s >= self.max_backlog_s:
+                if in_budget:
+                    bucket.refund(1.0)
+                self.rejected += 1
+                return Admission(
+                    "reject",
+                    reason=(
+                        "queue depth %d at limit %d" % (depth, self.max_queue)
+                        if depth >= self.max_queue else
+                        "estimated backlog %.1fs at limit %.1fs"
+                        % (backlog_s, self.max_backlog_s)
+                    ),
+                    retry_after_s=self._retry_after(depth, workers),
+                )
+            if not in_budget:
+                # soft watermark: over-budget clients are shed first
+                if (depth >= self.degrade_queue
+                        or backlog_s >= self.degrade_backlog_s):
+                    self.rejected += 1
+                    return Admission(
+                        "reject",
+                        reason="client %r over budget while the daemon is "
+                               "loaded (depth %d)" % (client_id, depth),
+                        retry_after_s=self._retry_after(
+                            depth, workers, bucket=bucket,
+                        ),
+                    )
+                self.degraded += 1
+                return Admission(
+                    "degrade",
+                    reason="client %r over budget" % (client_id,),
+                )
+            self.accepted += 1
+            return Admission("accept")
+
+    def forget(self, client_id):
+        """Drop a disconnected client's bucket (bounded client map)."""
+        with self._lock:
+            self._buckets.pop(client_id, None)
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "accepted": self.accepted,
+                "degraded": self.degraded,
+                "rejected": self.rejected,
+                "service_ewma_s": self.service_ewma_s,
+                "max_queue": self.max_queue,
+                "max_backlog_s": self.max_backlog_s,
+                "degrade_queue": self.degrade_queue,
+                "degrade_backlog_s": self.degrade_backlog_s,
+                "clients": len(self._buckets),
+            }

@@ -19,10 +19,24 @@ Design notes
   ``reap_grace``) is killed and its task recorded as a structured
   ``unknown``; a worker that died on its own is recorded as ``error``
   and the task retried on a fresh worker up to ``retries`` times.
+* **Two lifetimes.**  :meth:`WorkerPool.run` is the one-shot batch
+  driver; underneath it sits a streaming core — :meth:`start`,
+  :meth:`submit`, :meth:`pump`, :meth:`take_completed`, :meth:`stop` —
+  that the solver daemon (:mod:`repro.serve.daemon`) drives directly,
+  feeding an ongoing job stream into a pool whose workers keep their
+  warm store and caches across submissions.
+* **Signal safety.**  ``run`` installs a SIGTERM handler for its
+  duration and converts the signal (or a ``KeyboardInterrupt``) into an
+  emergency :meth:`kill`: workers get SIGTERM, stragglers SIGKILL after
+  a short grace, and the partial store snapshot is *not* saved — a
+  half-run batch must never leak orphan processes or clobber the store
+  with a partial capture.
 """
 
 import itertools
 import queue as queue_mod
+import signal
+import threading
 import time
 from collections import deque
 from multiprocessing import get_context
@@ -45,6 +59,30 @@ _MAX_IDLE_DEATHS = 8
 #: frees up.  A bounded scan keeps dispatch O(1)-ish; a repeat pattern
 #: deeper in the queue simply dispatches in arrival order.
 _AFFINITY_SCAN = 32
+
+#: The affinity map is keyed by payload text; a long-lived daemon sees
+#: an unbounded key stream, so the map is cleared when it reaches this
+#: size (routing is a latency hint only — clearing never changes
+#: verdicts).
+_AFFINITY_CAP = 4096
+
+#: Streaming mode keeps at most this many per-worker retirement
+#: reports / heartbeats; a daemon recycling workers for days must not
+#: grow its report history without bound.
+_HISTORY_CAP = 1024
+
+#: Seconds SIGTERM'd workers get to exit before the emergency shutdown
+#: escalates to SIGKILL.
+KILL_GRACE = 2.0
+
+
+class PoolInterrupted(BaseException):
+    """Raised by the pool's temporary SIGTERM handler.
+
+    A ``BaseException`` on purpose: broad ``except Exception`` handlers
+    between the signal and the pool's cleanup must not swallow it —
+    the whole point is reaching the worker-killing ``finally``.
+    """
 
 
 def _affinity_key(task):
@@ -74,8 +112,15 @@ class _Worker:
 
 
 class WorkerPool:
-    """Fans a list of :class:`~repro.serve.jobs.Job` across worker
-    processes; :meth:`run` returns a :class:`BatchReport`."""
+    """Fans :class:`~repro.serve.jobs.Job` streams across worker
+    processes.
+
+    :meth:`run` is the batch entry point (returns a
+    :class:`BatchReport`); the daemon instead calls :meth:`start` once
+    and then interleaves :meth:`submit` / :meth:`pump` /
+    :meth:`take_completed` forever, so workers — and their warm stores,
+    derivative memos and lazy-DFA rows — persist across submissions
+    from many clients."""
 
     def __init__(self, workers=2, fuel=None, seconds=None, max_char=None,
                  retries=1, reap_grace=DEFAULT_REAP_GRACE,
@@ -104,7 +149,7 @@ class WorkerPool:
 
             slow_s = DEFAULT_SLOW_S
         self.flight_dir = flight_dir
-        #: the pool-side flight recorder, live only while run() flies
+        #: the pool-side flight recorder, live only while the pool flies
         self._flight = None
         # recycling watermarks (max_tasks / max_rss_mb / max_cache_
         # entries), the in-worker compaction policy and the flight-
@@ -129,6 +174,14 @@ class WorkerPool:
             start_method = "fork" if "fork" in methods else None
         self._ctx = get_context(start_method)
         self._ids = itertools.count()
+        # streaming-core state: live between start() and stop()/kill()
+        self._fleet = []
+        self._pending = deque()     # normal-priority task dicts
+        self._degraded = deque()    # degraded-priority (over-budget clients)
+        self._state = None
+        self._started = False
+        self._idle_deaths = 0
+        self.broken = False
 
     # -- worker lifecycle ---------------------------------------------------
 
@@ -163,97 +216,276 @@ class WorkerPool:
             return None
         return time.monotonic() + seconds + self.reap_grace
 
-    # -- the batch loop ------------------------------------------------------
+    # -- the streaming core --------------------------------------------------
 
-    def run(self, jobs):
-        jobs = list(jobs)
-        started = time.perf_counter()
-        total = len(jobs)
-        pending = deque(job.to_task(i) for i, job in enumerate(jobs))
-        state = {
+    def start(self, fleet_size=None, jobs=None):
+        """Spawn the fleet and arm the pool for :meth:`submit` /
+        :meth:`pump`.  ``fleet_size`` caps the initial spawn below
+        ``self.workers`` (the batch path never spawns more workers than
+        it has jobs); ``jobs`` is the expected batch size for the
+        flight recorder (None for an open-ended stream)."""
+        if self._started:
+            raise RuntimeError("pool already started")
+        self._state = {
             "results": {}, "retries": 0, "worker_metrics": [],
-            "stats_seen": 0, "recycled": 0, "worker_reports": [],
-            "heartbeats": [], "store_new": [],
+            "stats_seen": 0, "recycled": 0,
+            "worker_reports": deque(maxlen=_HISTORY_CAP),
+            "heartbeats": deque(maxlen=_HISTORY_CAP), "store_new": [],
         }
+        self._pending.clear()
+        self._degraded.clear()
+        self._idle_deaths = 0
+        self.broken = False
         if self.flight_dir is not None:
             from repro.obs.flight import PoolFlight
 
             self._flight = PoolFlight(self.flight_dir)
             self._flight.events.emit(
-                "pool.start", jobs=total, workers=self.workers,
+                "pool.start", jobs=jobs, workers=self.workers,
             )
-        fleet = [self._spawn() for _ in range(min(self.workers, max(total, 1)))]
-        idle_deaths = 0
+        size = self.workers
+        if fleet_size is not None:
+            size = max(1, min(self.workers, fleet_size))
+        self._fleet = [self._spawn() for _ in range(size)]
+        self._started = True
+
+    def submit(self, task, degraded=False):
+        """Queue one task dict (see :meth:`repro.serve.jobs.Job.to_task`
+        for the shape).  ``degraded`` tasks only dispatch when no
+        normal-priority task is waiting — the admission controller's
+        lever for serving compliant clients first."""
+        if not self._started:
+            raise RuntimeError("pool is not started")
+        (self._degraded if degraded else self._pending).append(task)
+
+    @property
+    def queued(self):
+        """Tasks accepted but not yet dispatched to a worker."""
+        return len(self._pending) + len(self._degraded)
+
+    @property
+    def inflight(self):
+        """Tasks currently being solved by a worker."""
+        return sum(1 for w in self._fleet if w.task is not None)
+
+    @property
+    def backlog(self):
+        """Queued plus in-flight: everything accepted but unfinished."""
+        return self.queued + self.inflight
+
+    def worker_pids(self):
+        """PIDs of the current fleet (diagnostics and the shutdown
+        regression test)."""
+        return [w.proc.pid for w in self._fleet]
+
+    def pump(self):
+        """One scheduling sweep: dispatch idle workers, drain result
+        queues, and — only on an otherwise idle sweep — run the health
+        check (crash/reap detection).  Returns True when any dispatch
+        or message made progress; the caller sleeps briefly on False.
+        """
+        state = self._state
+        progressed = False
+        for worker in self._fleet:
+            if worker.task is None and not worker.retiring and self.queued:
+                task = self._next_task(worker)
+                worker.task = task
+                worker.deadline = self._task_deadline()
+                worker.task_q.put(task)
+            progressed |= self._pump(worker, state)
+        if progressed:
+            return True
+        new_fleet = []
+        broken = False
+        for worker in self._fleet:
+            outcome = self._check_health(worker, state)
+            if outcome is None:
+                new_fleet.append(worker)
+            elif outcome is worker:
+                # idle death (already discarded): respawn unless
+                # workers keep dying before taking any task
+                self._idle_deaths += 1
+                if self._idle_deaths > _MAX_IDLE_DEATHS:
+                    broken = True
+                else:
+                    new_fleet.append(self._spawn())
+            else:
+                new_fleet.append(outcome)
+        self._fleet = new_fleet
+        if broken or not self._fleet:
+            self.broken = True
+        if self.broken:
+            # workers keep dying before accepting work: fail what is
+            # queued with structured errors instead of looping forever
+            self._fail_pending()
+        return False
+
+    def take_completed(self):
+        """Pop every finished :class:`TaskResult`, ascending by index.
+        The streaming consumer's half of the contract — the batch
+        driver instead leaves results in place until the batch ends."""
+        results = self._state["results"]
+        if not results:
+            return []
+        out = [results[i] for i in sorted(results)]
+        results.clear()
+        return out
+
+    def stop(self):
+        """Graceful shutdown: sentinel every live worker, collect their
+        final stats/metrics snapshots (bounded wait), reap the fleet.
+        Returns the merged worker metrics list."""
+        worker_metrics = self._collect_final_stats(self._fleet, self._state)
+        self._fleet = []
+        if self._flight is not None:
+            self._flight.finish(results=len(self._state["results"]))
+            self._flight = None
+        self._started = False
+        return worker_metrics
+
+    def kill(self, grace=KILL_GRACE):
+        """Emergency shutdown for the signal path: SIGTERM the fleet,
+        SIGKILL stragglers after ``grace`` seconds, skip the stats
+        barrier entirely.  Never raises."""
+        fleet, self._fleet = self._fleet, []
+        for worker in fleet:
+            try:
+                worker.proc.terminate()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        deadline = time.monotonic() + grace
+        for worker in fleet:
+            worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for worker in fleet:
+            try:
+                self._discard(worker)
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        if self._flight is not None:
+            try:
+                self._flight.finish(
+                    results=len(self._state["results"]) if self._state else 0,
+                )
+            except Exception:  # pragma: no cover - flight dir gone
+                pass
+            self._flight = None
+        self._started = False
+
+    # -- the batch driver ----------------------------------------------------
+
+    def run(self, jobs):
+        """Solve a finite job list; returns an order-stable
+        :class:`BatchReport`.
+
+        An empty list returns an empty report without spawning workers;
+        duplicate job names raise ``ValueError`` up front (report rows,
+        JSONL output and result routing are keyed by name — silently
+        clobbering one of the duplicates helps nobody).  SIGTERM or
+        ``KeyboardInterrupt`` mid-batch triggers :meth:`kill` — no
+        orphan workers, no partial store save — and re-raises.
+        """
+        jobs = list(jobs)
+        seen, duplicates = set(), set()
+        for job in jobs:
+            if job.name in seen:
+                duplicates.add(job.name)
+            seen.add(job.name)
+        if duplicates:
+            raise ValueError(
+                "duplicate job name%s in batch: %s"
+                % ("s" if len(duplicates) > 1 else "",
+                   ", ".join(repr(n) for n in sorted(duplicates)))
+            )
+        if not jobs:
+            return BatchReport([], 0.0, self.workers)
+        started = time.perf_counter()
+        total = len(jobs)
+        previous_term = None
+        def _on_term(signum, frame):
+            raise PoolInterrupted("SIGTERM during batch")
+        if threading.current_thread() is threading.main_thread():
+            try:
+                previous_term = signal.signal(signal.SIGTERM, _on_term)
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                previous_term = None
+        interrupted = False
         try:
+            self.start(fleet_size=total, jobs=total)
+            state = self._state
+            for i, job in enumerate(jobs):
+                self.submit(job.to_task(i))
             while len(state["results"]) < total:
-                progressed = False
-                for worker in fleet:
-                    if worker.task is None and not worker.retiring and pending:
-                        task = self._next_task(worker, pending)
-                        worker.task = task
-                        worker.deadline = self._task_deadline()
-                        worker.task_q.put(task)
-                    progressed |= self._pump(worker, state)
-                if progressed:
-                    continue
-                new_fleet = []
-                broken = False
-                for worker in fleet:
-                    outcome = self._check_health(worker, pending, state)
-                    if outcome is None:
-                        new_fleet.append(worker)
-                    elif outcome is worker:
-                        # idle death (already discarded): respawn unless
-                        # workers keep dying before taking any task
-                        idle_deaths += 1
-                        if idle_deaths > _MAX_IDLE_DEATHS:
-                            broken = True
-                        else:
-                            new_fleet.append(self._spawn())
-                    else:
-                        new_fleet.append(outcome)
-                fleet = new_fleet
-                if broken or not fleet:
-                    self._fail_remaining(pending, fleet, state)
-                if len(state["results"]) < total:
+                if not self.pump() and len(state["results"]) < total:
                     time.sleep(_POLL_SLEEP)
+            worker_metrics = self.stop()
+        except BaseException as exc:
+            interrupted = isinstance(
+                exc, (KeyboardInterrupt, SystemExit, PoolInterrupted)
+            )
+            raise
         finally:
-            worker_metrics = self._shutdown(fleet, state)
-            if self._flight is not None:
-                self._flight.finish(results=len(state["results"]))
-                self._flight = None
+            if previous_term is not None:
+                # a second SIGTERM racing the cleanup must not abort
+                # the worker kill and re-orphan the fleet: ignore the
+                # signal until the fleet is dead, then restore
+                try:
+                    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+            if self._started:
+                # the normal path already ran stop(); reaching here
+                # still started means an exception (or a signal) broke
+                # the loop — take the emergency exit so no worker
+                # outlives the batch, and never attempt the partial
+                # _save_store below (the raise skips it)
+                if interrupted:
+                    self.kill()
+                else:
+                    try:
+                        self.stop()
+                    except Exception:
+                        self.kill()
+            if previous_term is not None:
+                signal.signal(signal.SIGTERM, previous_term)
         wall = time.perf_counter() - started
         self._save_store(state)
         results = [state["results"][i] for i in sorted(state["results"])]
         return BatchReport(
             results, wall, self.workers, retries=state["retries"],
             worker_metrics=worker_metrics, recycled=state["recycled"],
-            worker_reports=state["worker_reports"],
-            heartbeats=state["heartbeats"], flight_dir=self.flight_dir,
+            worker_reports=list(state["worker_reports"]),
+            heartbeats=list(state["heartbeats"]), flight_dir=self.flight_dir,
         )
 
-    def _next_task(self, worker, pending):
+    def _next_task(self, worker):
         """Pick this worker's next task, preferring payloads it has
-        solved before (warm-store affinity).
+        solved before (warm-store affinity), and normal-priority tasks
+        over degraded ones.
 
-        Without a store every dispatch is ``popleft`` — arrival order.
-        With one, a bounded scan of the queue head looks for a task
-        whose payload this worker already compiled: its in-process
-        rows make the repeat essentially free, where another worker
-        would at best replay the shared snapshot.  Verdicts never
-        depend on the routing — only latency does."""
-        if self.store_path or self.store_save:
-            for i in range(min(len(pending), _AFFINITY_SCAN)):
-                key = _affinity_key(pending[i])
-                if key is not None and self._affinity.get(key) == worker.id:
-                    task = pending[i]
-                    del pending[i]
-                    return task
-        task = pending.popleft()
-        key = _affinity_key(task)
-        if key is not None:
-            self._affinity[key] = worker.id
-        return task
+        Without a store every dispatch is ``popleft`` — arrival order
+        within each priority band.  With one, a bounded scan of the
+        queue head looks for a task whose payload this worker already
+        compiled: its in-process rows make the repeat essentially free,
+        where another worker would at best replay the shared snapshot.
+        Verdicts never depend on the routing — only latency does."""
+        for pending in (self._pending, self._degraded):
+            if not pending:
+                continue
+            if self.store_path or self.store_save:
+                for i in range(min(len(pending), _AFFINITY_SCAN)):
+                    key = _affinity_key(pending[i])
+                    if key is not None and self._affinity.get(key) == worker.id:
+                        task = pending[i]
+                        del pending[i]
+                        return task
+            task = pending.popleft()
+            key = _affinity_key(task)
+            if key is not None:
+                if len(self._affinity) >= _AFFINITY_CAP:
+                    self._affinity.clear()
+                self._affinity[key] = worker.id
+            return task
+        return None
 
     def _pump(self, worker, state):
         """Drain one worker's result queue; True if anything arrived."""
@@ -285,6 +517,10 @@ class WorkerPool:
                 outcome=msg.get("outcome"),
                 explanation=msg.get("explanation"),
             )
+            # a real result proves workers can run tasks: reset the
+            # spawn-failure abort counter so a long-lived pool is not
+            # broken by deaths spread over days
+            self._idle_deaths = 0
             if worker.task is not None and worker.task["index"] == index:
                 worker.task = None
                 worker.deadline = None
@@ -326,7 +562,7 @@ class WorkerPool:
             else:
                 state["stats_seen"] += 1
 
-    def _check_health(self, worker, pending, state):
+    def _check_health(self, worker, state):
         """Detect crashed or wedged workers.
 
         Returns None when the worker is healthy, a fresh replacement
@@ -394,11 +630,11 @@ class WorkerPool:
                     # the dispatch raced a planned retirement: the task
                     # was queued to a worker that had already decided to
                     # exit; requeue it with no attempt penalty
-                    pending.appendleft(task)
+                    self._pending.appendleft(task)
                 elif task["attempts"] < self.retries:
                     task["attempts"] += 1
                     state["retries"] += 1
-                    pending.appendleft(task)
+                    self._pending.appendleft(task)
                     if self._flight is not None:
                         self._flight.events.emit(
                             "task.retry", name=task["name"],
@@ -422,35 +658,42 @@ class WorkerPool:
         self._discard(worker)
         return self._spawn()
 
-    def _save_store(self, state):
+    def _save_store(self, state=None):
         """Fold the fragments the workers learned into the snapshot at
         ``store_save`` (merging whatever is already there, plus the
-        read snapshot when it is a different file).  Insert-only merge:
-        a concurrent or earlier batch's fragments are never clobbered."""
+        read snapshot when it is a different file).  Insert-only merge
+        over an atomic replace: a concurrent batch's or daemon's
+        fragments are never clobbered and a reader never sees a torn
+        file."""
         if not self.store_save:
+            return None
+        state = state if state is not None else self._state
+        if state is None or not state["store_new"]:
             return None
         from repro.solver.store import SolverStore
 
         store = SolverStore()
-        for path in (self.store_save, self.store_path):
-            if path:
-                try:
-                    store.load(path)
-                except (OSError, ValueError):
-                    pass
+        if self.store_path and str(self.store_path) != str(self.store_save):
+            try:
+                store.load(self.store_path)
+            except (OSError, ValueError):
+                pass
         store.merge(state["store_new"])
         try:
-            store.save(self.store_save)
+            store.save_merged(self.store_save)
         except OSError:
             return None
+        state["store_new"] = []
         return store
 
-    def _fail_remaining(self, pending, fleet, state):
+    def _fail_pending(self):
         """Workers keep dying before taking any task — fail what's left
         with structured errors rather than looping forever."""
-        leftovers = list(pending)
-        pending.clear()
-        for worker in fleet:
+        state = self._state
+        leftovers = list(self._pending) + list(self._degraded)
+        self._pending.clear()
+        self._degraded.clear()
+        for worker in self._fleet:
             if worker.task is not None:
                 leftovers.append(worker.task)
                 worker.task = None
@@ -467,7 +710,7 @@ class WorkerPool:
                     attempts=task["attempts"],
                 )
 
-    def _shutdown(self, fleet, state):
+    def _collect_final_stats(self, fleet, state):
         """Stop the fleet and collect the final metric snapshots of
         every worker that can still produce one."""
         expected = 0
@@ -506,7 +749,9 @@ def solve_batch(jobs, workers=2, fuel=None, seconds=None, max_char=None,
     Returns a :class:`~repro.serve.report.BatchReport` with one
     order-stable result per job; no input — however pathological — can
     abort the batch (crashes and hangs become structured ``error`` /
-    ``unknown`` records).
+    ``unknown`` records).  An empty job list returns an empty report
+    without spawning anything; duplicate job names raise ``ValueError``
+    before any work starts.
 
     ``max_tasks`` / ``max_rss_mb`` / ``max_cache_entries`` recycle
     workers at the corresponding watermark (counted in ``report.

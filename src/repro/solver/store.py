@@ -467,10 +467,51 @@ class SolverStore:
         return self
 
     def save(self, path):
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, sort_keys=True)
-            handle.write("\n")
+        """Write the snapshot atomically: serialize to a sibling temp
+        file, fsync, then ``os.replace`` over the target.  A reader (a
+        worker spawning mid-save, a concurrent ``--store`` CLI run)
+        always sees either the old complete file or the new complete
+        file — never a torn prefix."""
+        import os
+        import tempfile
+
+        path = str(path)
+        directory = os.path.dirname(path) or "."
+        fd, tmp = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp",
+            dir=directory,
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
+
+    def save_merged(self, path):
+        """Atomic save that first folds in whatever another writer put
+        at ``path`` since we loaded it.  Two pools (or a daemon plus a
+        CLI run) sharing one ``--store FILE`` race benignly: the merge
+        is insert-only, so the loser of the ``os.replace`` race drops
+        at most the winner's *simultaneous* additions, never corrupts
+        the file, and a later save converges.  A malformed or torn
+        on-disk file (pre-atomic writers) is skipped rather than
+        fatal — this path exists to *improve* the snapshot."""
+        try:
+            current = SolverStore(max_states=self.max_states)
+            current.load(path)
+            self.merge(current.to_dict()["fragments"])
+        except (OSError, ValueError):
+            pass
+        return self.save(path)
 
     def load(self, path):
         """Load a snapshot file; missing files are a clean no-op (a

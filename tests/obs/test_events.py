@@ -57,7 +57,9 @@ def test_every_registered_kind_validates_when_fields_present():
         "name": "job", "task_kind": "pattern", "index": 0,
         "artifact": "slow/0000-job.json", "jobs": 4, "workers": 2,
         "results": 4, "spawned": "w1", "crashed": "w1", "reaped": "w1",
-        "recycled": "w1",
+        "recycled": "w1", "address": "/tmp/repro.sock", "served": 12,
+        "client": "c1", "job": "q1", "degraded": False,
+        "reason": "overloaded", "latency_s": 0.2,
     }
     for kind, required in EVENT_KINDS.items():
         event = log.emit(kind, **{f: fillers[f] for f in required})

@@ -1,0 +1,192 @@
+"""Admission control: token buckets, watermarks, degradation order.
+
+Everything here runs on a fake clock — no sleeps, no workers."""
+
+import pytest
+
+from repro.serve.admission import (
+    Admission, AdmissionController, MAX_RETRY_S, MIN_RETRY_S, TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends_down(self):
+        clock = FakeClock()
+        bucket = TokenBucket(3, 1.0, clock=clock)
+        assert bucket.take() and bucket.take() and bucket.take()
+        assert not bucket.take()
+
+    def test_refills_at_the_configured_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2, 0.5, clock=clock)
+        bucket.take()
+        bucket.take()
+        assert not bucket.take()
+        clock.advance(2.0)       # one token back
+        assert bucket.take()
+        assert not bucket.take()
+
+    def test_refill_never_exceeds_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2, 10.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.level() == pytest.approx(2.0)
+
+    def test_failed_take_leaves_no_debt(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1, 0.0, clock=clock)
+        bucket.take()
+        assert not bucket.take()
+        assert bucket.level() == pytest.approx(0.0)
+
+    def test_refund_restores_up_to_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2, 0.0, clock=clock)
+        bucket.take()
+        bucket.refund()
+        bucket.refund()
+        assert bucket.level() == pytest.approx(2.0)
+
+    def test_seconds_until_matches_the_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1, 0.5, clock=clock)
+        bucket.take()
+        assert bucket.seconds_until(1.0) == pytest.approx(2.0)
+        # no refill -> never
+        frozen = TokenBucket(1, 0.0, clock=clock)
+        frozen.take()
+        assert frozen.seconds_until(1.0) == float("inf")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 1.0)
+
+
+def controller(**overrides):
+    defaults = dict(
+        max_queue=8, max_backlog_s=1000.0, client_capacity=4,
+        client_refill_per_s=0.0, service_prior_s=0.01,
+        clock=FakeClock(),
+    )
+    defaults.update(overrides)
+    return AdmissionController(**defaults)
+
+
+class TestAdmissionController:
+    def test_in_budget_below_watermark_accepts(self):
+        ctrl = controller()
+        verdict = ctrl.admit("c0", depth=0, workers=2)
+        assert verdict.decision == "accept"
+        assert verdict.accepted and not verdict.degraded
+
+    def test_hard_depth_watermark_rejects_everyone(self):
+        ctrl = controller(max_queue=4)
+        verdict = ctrl.admit("c0", depth=4, workers=2)
+        assert verdict.decision == "reject"
+        assert verdict.retry_after_s >= MIN_RETRY_S
+        assert "depth" in verdict.reason
+
+    def test_hard_backlog_watermark_rejects_everyone(self):
+        ctrl = controller(max_backlog_s=1.0, service_prior_s=1.0)
+        # depth 3 x 1s EWMA / 2 workers = 1.5s backlog > 1.0s limit
+        verdict = ctrl.admit("c0", depth=3, workers=2)
+        assert verdict.decision == "reject"
+        assert "backlog" in verdict.reason
+
+    def test_rejection_refunds_the_token(self):
+        ctrl = controller(max_queue=1, client_capacity=1)
+        assert ctrl.admit("c0", depth=1, workers=1).decision == "reject"
+        # the budget was not consumed by the rejected attempt
+        assert ctrl.admit("c0", depth=0, workers=1).decision == "accept"
+
+    def test_over_budget_below_soft_watermark_degrades(self):
+        ctrl = controller(client_capacity=2, max_queue=100)
+        for _ in range(2):
+            assert ctrl.admit("c0", depth=0, workers=2).decision == "accept"
+        verdict = ctrl.admit("c0", depth=0, workers=2)
+        assert verdict.decision == "degrade"
+        assert verdict.accepted and verdict.degraded
+
+    def test_over_budget_above_soft_watermark_rejects(self):
+        ctrl = controller(client_capacity=1, max_queue=10, degrade_queue=2)
+        assert ctrl.admit("c0", depth=0, workers=2).decision == "accept"
+        verdict = ctrl.admit("c0", depth=3, workers=2)
+        assert verdict.decision == "reject"
+        assert "over budget" in verdict.reason
+
+    def test_compliant_client_admitted_where_over_budget_is_shed(self):
+        # the ordering the soft watermark exists for: same depth, the
+        # client with tokens gets in, the exhausted one is rejected
+        ctrl = controller(client_capacity=1, max_queue=10, degrade_queue=2)
+        assert ctrl.admit("hog", depth=0, workers=2).decision == "accept"
+        assert ctrl.admit("hog", depth=3, workers=2).decision == "reject"
+        assert ctrl.admit("polite", depth=3, workers=2).decision == "accept"
+
+    def test_retry_hint_includes_token_refill_wait(self):
+        clock = FakeClock()
+        ctrl = controller(client_capacity=1, client_refill_per_s=0.1,
+                          max_queue=10, degrade_queue=1, clock=clock)
+        assert ctrl.admit("c0", depth=0, workers=2).decision == "accept"
+        verdict = ctrl.admit("c0", depth=2, workers=2)
+        assert verdict.decision == "reject"
+        # one token at 0.1/s = 10s to refill; hint must cover it
+        assert verdict.retry_after_s == pytest.approx(10.0, abs=0.5)
+
+    def test_retry_hint_is_clamped(self):
+        ctrl = controller(max_queue=1, service_prior_s=1000.0)
+        verdict = ctrl.admit("c0", depth=500, workers=1)
+        assert verdict.decision == "reject"
+        assert verdict.retry_after_s <= MAX_RETRY_S
+
+    def test_observe_moves_the_ewma(self):
+        ctrl = controller(service_prior_s=0.01, ewma_alpha=0.5)
+        ctrl.observe(1.0)
+        assert ctrl.service_ewma_s == pytest.approx(0.505)
+        ctrl.observe(1.0)
+        assert ctrl.service_ewma_s == pytest.approx(0.7525)
+
+    def test_observe_ignores_garbage(self):
+        ctrl = controller(service_prior_s=0.01)
+        ctrl.observe(None)
+        ctrl.observe(-5.0)
+        assert ctrl.service_ewma_s == pytest.approx(0.01)
+
+    def test_snapshot_counts_decisions(self):
+        ctrl = controller(client_capacity=1, max_queue=4, degrade_queue=0,
+                          degrade_backlog_s=0.0)
+        ctrl.admit("a", depth=0, workers=2)    # accept (token spent)
+        ctrl.admit("a", depth=1, workers=2)    # reject (over budget, soft)
+        snap = ctrl.snapshot()
+        assert snap["accepted"] == 1
+        assert snap["rejected"] == 1
+        assert snap["clients"] == 1
+
+    def test_forget_drops_the_bucket(self):
+        ctrl = controller(client_capacity=1)
+        ctrl.admit("a", depth=0, workers=2)
+        ctrl.forget("a")
+        # fresh bucket: the budget is back
+        assert ctrl.admit("a", depth=0, workers=2).decision == "accept"
+
+    def test_zero_refill_degraded_forever_until_forgotten(self):
+        ctrl = controller(client_capacity=1, client_refill_per_s=0.0,
+                          max_queue=100)
+        assert ctrl.admit("a", depth=0, workers=2).decision == "accept"
+        for _ in range(5):
+            assert ctrl.admit("a", depth=0, workers=2).decision == "degrade"
+
+
+def test_admission_repr_is_stable():
+    verdict = Admission("reject", reason="x", retry_after_s=1.0)
+    assert "reject" in repr(verdict)

@@ -1,0 +1,162 @@
+"""Signal-safe pool shutdown: SIGTERM / KeyboardInterrupt mid-batch
+must leave no orphan worker processes and no partial store file.
+
+The victim runs in a subprocess (signals aimed at a live pool parent),
+hung on fault-injection jobs so the batch cannot finish on its own."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    ))), "src",
+)
+
+RUNNER = r"""
+import sys, threading, time
+from repro.serve import Job, WorkerPool
+
+store_save = sys.argv[1] if len(sys.argv) > 1 and sys.argv[1] != "-" \
+    else None
+pool = WorkerPool(workers=2, fuel=100000, seconds=60.0,
+                  reap_grace=600.0, store_save=store_save,
+                  store_path=store_save)
+
+def announce():
+    while not pool.worker_pids():
+        time.sleep(0.01)
+    print("PIDS " + " ".join(str(p) for p in pool.worker_pids()),
+          flush=True)
+
+threading.Thread(target=announce, daemon=True).start()
+pool.run([Job("h0", "crash", "hang"), Job("h1", "crash", "hang")])
+print("FINISHED", flush=True)
+"""
+
+
+def _start_victim(tmp_path, store_arg):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-c", RUNNER, store_arg],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env, cwd=str(tmp_path),
+    )
+    line = proc.stdout.readline()
+    assert line.startswith("PIDS "), (
+        "victim never reported its workers: %r / %r"
+        % (line, proc.stderr.read() if proc.poll() is not None else "")
+    )
+    return proc, [int(p) for p in line.split()[1:]]
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover
+        return True
+    return True
+
+
+def _wait_dead(pids, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        alive = [p for p in pids if _pid_alive(p)]
+        if not alive:
+            return []
+        time.sleep(0.05)
+    return alive
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_mid_batch_leaves_no_orphans_and_no_store(
+        tmp_path, signum):
+    store = tmp_path / "store.json"
+    proc, worker_pids = _start_victim(tmp_path, str(store))
+    assert len(worker_pids) == 2
+    assert all(_pid_alive(p) for p in worker_pids)
+    # let both hang jobs actually dispatch
+    time.sleep(0.3)
+    proc.send_signal(signum)
+    try:
+        out, err = proc.communicate(timeout=30.0)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise
+    # the batch died on the signal, it did not "finish"
+    assert "FINISHED" not in out
+    assert proc.returncode != 0
+    # no surviving children: every worker is gone within the grace
+    survivors = _wait_dead(worker_pids)
+    for pid in survivors:  # pragma: no cover - cleanup before failing
+        os.kill(pid, signal.SIGKILL)
+    assert not survivors, "orphan workers survived: %s" % survivors
+    # the interrupted batch never wrote a (partial) store snapshot
+    assert not store.exists()
+    # and no stray temp file from a torn atomic save either
+    leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+    assert not leftovers
+
+
+def test_serve_cli_sigterm_drains_and_kills_fleet(tmp_path):
+    # SIGTERM's default action would kill the daemon process without
+    # its finally block, orphaning the workers; the serve command
+    # installs a handler that routes it into the graceful drain
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--socket", str(tmp_path / "d.sock"), "--jobs", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, cwd=str(tmp_path),
+    )
+    line = proc.stdout.readline()
+    assert line.startswith("serving on "), line
+    deadline = time.monotonic() + 10.0
+    workers = []
+    while time.monotonic() < deadline and len(workers) < 2:
+        out = subprocess.run(
+            ["pgrep", "-P", str(proc.pid)],
+            capture_output=True, text=True,
+        ).stdout.split()
+        workers = [int(p) for p in out]
+        time.sleep(0.05)
+    assert len(workers) == 2, "fleet never spawned: %r" % workers
+    proc.send_signal(signal.SIGTERM)
+    try:
+        out, _ = proc.communicate(timeout=30.0)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise
+    assert proc.returncode == 0
+    assert "terminated; draining" in out
+    assert "served 0 job(s)" in out
+    survivors = _wait_dead(workers)
+    for pid in survivors:  # pragma: no cover - cleanup before failing
+        os.kill(pid, signal.SIGKILL)
+    assert not survivors, "orphan workers survived: %s" % survivors
+
+
+def test_second_sigterm_during_cleanup_still_kills_workers(tmp_path):
+    # the handler is restored only after the fleet is dead: a second
+    # SIGTERM racing the cleanup cannot re-orphan the workers
+    proc, worker_pids = _start_victim(tmp_path, "-")
+    time.sleep(0.3)
+    proc.send_signal(signal.SIGTERM)
+    time.sleep(0.05)
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.communicate(timeout=30.0)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise
+    survivors = _wait_dead(worker_pids)
+    for pid in survivors:  # pragma: no cover
+        os.kill(pid, signal.SIGKILL)
+    assert not survivors, "orphan workers survived: %s" % survivors

@@ -1,0 +1,168 @@
+"""Atomic store persistence and concurrent-writer tolerance.
+
+The daemon and the CLI now routinely share one ``--store FILE``;
+these tests pin the contract that makes that safe: saves are atomic
+(readers never see a torn file), ``save_merged`` folds in a concurrent
+writer's fragments instead of clobbering them, and a two-process
+hammering session always leaves a loadable file."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.alphabet import IntervalAlgebra
+from repro.regex import RegexBuilder, parse
+from repro.solver.engine import RegexSolver
+from repro.solver.result import Budget
+from repro.solver.store import SolverStore
+
+
+def fragment_for(pattern):
+    """Capture a real fragment by solving ``pattern`` with a store."""
+    builder = RegexBuilder(IntervalAlgebra(127))
+    store = SolverStore()
+    solver = RegexSolver(builder, store=store)
+    solver.is_satisfiable(
+        parse(builder, pattern), Budget(fuel=100000, seconds=5.0)
+    )
+    fragments = store.export_new()
+    assert fragments, "no fragment captured for %r" % pattern
+    return fragments
+
+
+class TestAtomicSave:
+    def test_save_roundtrips(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = SolverStore()
+        store.merge(fragment_for("a*b"))
+        store.save(str(path))
+        loaded = SolverStore()
+        loaded.load(str(path))
+        assert len(loaded) == len(store)
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = SolverStore()
+        store.merge(fragment_for("a*b"))
+        store.save(str(path))
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["store.json"]
+
+    def test_save_replaces_not_truncates(self, tmp_path):
+        # the old complete file must remain readable at every instant:
+        # write once, then overwrite, asserting the inode changed (a
+        # rename landed, not an in-place truncate+write)
+        path = tmp_path / "store.json"
+        store = SolverStore()
+        store.merge(fragment_for("a*b"))
+        store.save(str(path))
+        inode_before = os.stat(str(path)).st_ino
+        store.merge(fragment_for("a|b"))
+        store.save(str(path))
+        assert os.stat(str(path)).st_ino != inode_before
+        loaded = SolverStore().load(str(path))
+        assert len(loaded) == len(store)
+
+    def test_failed_serialization_leaves_target_intact(self, tmp_path):
+        path = tmp_path / "store.json"
+        good = SolverStore()
+        good.merge(fragment_for("a*b"))
+        good.save(str(path))
+        before = path.read_text()
+        bad = SolverStore()
+        bad._fragments[("alg", "key")] = {"unserializable": object()}
+        with pytest.raises(TypeError):
+            bad.save(str(path))
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["store.json"]
+
+
+class TestSaveMerged:
+    def test_concurrent_writer_fragments_survive(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        # writer A saves its fragment...
+        a = SolverStore()
+        a.merge(fragment_for("a*b"))
+        a.save(path)
+        # ...writer B, loaded before A's save (i.e. knowing nothing of
+        # it), saves via the merge path: A's fragment must survive
+        b = SolverStore()
+        b.merge(fragment_for("a|b"))
+        b.save_merged(path)
+        final = SolverStore().load(path)
+        assert len(final) == len(a._fragments) + len(b._fragments) - len(
+            set(a._fragments) & set(b._fragments)
+        )
+        for key in a._fragments:
+            assert key in final._fragments
+        for key in b._fragments:
+            assert key in final._fragments
+
+    def test_merge_tolerates_a_torn_file(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text('{"v": 1, "fragments": [{"key": "x"')  # torn
+        store = SolverStore()
+        store.merge(fragment_for("a*b"))
+        store.save_merged(str(path))  # must not raise
+        final = SolverStore().load(str(path))
+        assert len(final) == len(store)
+
+    def test_merge_tolerates_future_schema(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps({"v": 999, "fragments": []}))
+        store = SolverStore()
+        store.merge(fragment_for("a*b"))
+        store.save_merged(str(path))
+        final = SolverStore().load(str(path))
+        assert len(final) == len(store)
+
+
+def _hammer(path, patterns, rounds, barrier):
+    """One writer process: repeatedly load-merge-save real fragments."""
+    fragments = []
+    for pattern in patterns:
+        fragments.extend(fragment_for(pattern))
+    barrier.wait()
+    for _ in range(rounds):
+        store = SolverStore()
+        store.merge(fragments)
+        store.save_merged(path)
+
+
+class TestTwoWriterStress:
+    def test_two_processes_hammering_one_file(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        ctx = multiprocessing.get_context("fork") \
+            if "fork" in multiprocessing.get_all_start_methods() \
+            else multiprocessing.get_context()
+        barrier = ctx.Barrier(2)
+        a_patterns = ["a*b", "(ab){2,4}c", "[a-f]{2,5}&~(.*cc.*)"]
+        b_patterns = ["a|b", "(a|b)*abb", "~(a*)&.*"]
+        procs = [
+            ctx.Process(target=_hammer,
+                        args=(path, pats, 25, barrier))
+            for pats in (a_patterns, b_patterns)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120.0)
+            assert proc.exitcode == 0
+        # the file is valid JSON (atomic replace: never torn) ...
+        final = SolverStore()
+        final.load(path)
+        data = json.loads(open(path, "r", encoding="utf-8").read())
+        assert data["v"] == 1
+        # ... and both writers' fragments survived the race (each
+        # writer's last save_merged folded the other's work in)
+        expected = SolverStore()
+        for pattern in a_patterns + b_patterns:
+            expected.merge(fragment_for(pattern))
+        for key in expected._fragments:
+            assert key in final._fragments, (
+                "fragment lost in the two-writer race: %r" % (key,)
+            )
+        # no stray temp files
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["store.json"]
