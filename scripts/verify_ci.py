@@ -2,12 +2,13 @@
 """Differential-verification CI gate.
 
 Replays every frozen reproducer in ``tests/corpus/`` (a corpus
-regression is an immediate failure), then runs a seeded, wall-clock-
-budgeted fuzz campaign that solves random EREs with all four engines,
-diffs their verdicts, validates every sat witness, checks the
-metamorphic identities, and cross-checks leftmost search against
-Python's ``re`` on the standard fragment.  Any disagreement is shrunk
-to a minimal reproducer and printed.
+regression is an immediate failure), runs a seeded differential sweep
+of real-world anchor/lookaround patterns against Python ``re``, then
+runs a seeded, wall-clock-budgeted fuzz campaign that solves random
+EREs with all four engines, diffs their verdicts, validates every sat
+witness, checks the metamorphic identities, and cross-checks leftmost
+search (and a random lookaround stream) against Python's ``re``.  Any
+disagreement is shrunk to a minimal reproducer and printed.
 
 Exit status: 0 when the corpus replays clean and the campaign found no
 unexplained disagreement (one whose shrunk pattern is not already
@@ -31,6 +32,58 @@ sys.path.insert(
 )
 
 from repro.verify import load_all, replay_entry, run_campaign
+
+#: Real-world anchor/lookaround shapes the solver must stay truthful
+#: on: password rules, word boundaries, line/string anchors.  Each is
+#: run differentially against Python ``re`` on seeded texts plus a
+#: solver-soundness check (see ``lookaround_mismatch``).
+LOOKAROUND_PATTERNS = [
+    "^ab$",
+    "^a+b*$",
+    "(?=a)a",
+    "(?!ab)a.",
+    "a(?<=a)b",
+    "ab(?<!a)",
+    r"\ba\b",
+    r"\bab\b a",
+    r"\Bb",
+    r"\Aab\Z",
+    "^(?=.*a)(?=.*b).{2,4}$",
+    "^(?!.*ba).*$",
+    "a$|^b",
+    r"(?=a*b)a+",
+    r"(?:(?!aa).)*",
+]
+
+
+def lookaround_sweep(seed, fuel, seconds):
+    """Deterministic differential sweep of the curated patterns.
+
+    Returns the number of failures (each printed as one line).
+    """
+    import random
+
+    from repro.verify.campaign import (
+        _fresh_builder, _sample_texts, lookaround_mismatch,
+    )
+
+    rng = random.Random(seed)
+    failures = 0
+    for pattern in LOOKAROUND_PATTERNS:
+        builder = _fresh_builder("ab01")
+        texts = _sample_texts(rng, "ab01")
+        mismatch = lookaround_mismatch(
+            builder, pattern, texts, fuel, seconds
+        )
+        if mismatch is not None:
+            failures += 1
+            print("lookaround %-28s FAIL %s" % (
+                pattern, json.dumps(mismatch, sort_keys=True),
+            ))
+    print("lookarounds: %d patterns, %d failures" % (
+        len(LOOKAROUND_PATTERNS), failures,
+    ))
+    return failures
 
 
 def build_parser():
@@ -72,6 +125,11 @@ def main(argv=None):
         print("corpus: %d entries, %d failures" % (len(entries), failures))
         if failures:
             status = 1
+
+    from repro.verify.campaign import CASE_FUEL, CASE_SECONDS
+
+    if lookaround_sweep(args.seed, CASE_FUEL, CASE_SECONDS):
+        status = 1
 
     started = time.monotonic()
     report = run_campaign(

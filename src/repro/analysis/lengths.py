@@ -15,6 +15,7 @@ test suite's cross-checks.
 
 from collections import deque
 
+from repro.errors import UnsupportedError
 from repro.matcher.dfa_cache import LazyDfa
 from repro.regex.ast import (
     COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
@@ -34,6 +35,15 @@ def structural_min(regex):
     iterative fold (:func:`~repro.regex.ast.fold_postorder`), so deep
     regexes are handled.
     """
+
+    if regex.has_look:
+        # a zero-width assertion's contribution is 0, but under ~ the
+        # complement rule below would then claim bounds that positional
+        # semantics can break (~(?=a) contains eps); typed refusal
+        raise UnsupportedError(
+            "structural length bounds do not support zero-width "
+            "assertions; eliminate lookarounds first"
+        )
 
     def bound(node, kids):
         kind = node.kind
@@ -79,6 +89,12 @@ def structural_max(regex):
     (:func:`~repro.regex.ast.fold_postorder`), so deep regexes are
     handled.
     """
+
+    if regex.has_look:
+        raise UnsupportedError(
+            "structural length bounds do not support zero-width "
+            "assertions; eliminate lookarounds first"
+        )
 
     def bound(node, kids):
         kind = node.kind

@@ -13,7 +13,8 @@ baseline treats Boolean operators at the automaton level
 
 from repro.errors import UnsupportedError
 from repro.regex.ast import (
-    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOK_KINDS, LOOP, PRED,
+    UNION,
 )
 from repro.automata.sfa import SFA, StateBudget
 
@@ -77,6 +78,11 @@ class _NfaBuilder:
             raise UnsupportedError(
                 "Thompson construction handles standard regexes only; "
                 "%s must be applied at the automaton level" % kind
+            )
+        if kind in LOOK_KINDS:
+            raise UnsupportedError(
+                "Thompson construction does not support zero-width "
+                "assertions; eliminate lookarounds first"
             )
         raise AssertionError("unknown node kind %r" % kind)
 

@@ -169,22 +169,38 @@ def run_matrix_parallel(engines, problems, builder, fuel=200000, seconds=2.0,
     worker's own builder; pool-level failures (a crashed or reaped
     worker) surface as error Records with the full budget charged,
     mirroring the serial path's crash-counts-as-timeout rule.
+
+    Problems with no SMT-LIB wire form — the re theory has no
+    zero-width assertions, so lookaround benchmarks cannot be shipped
+    to workers — are solved in process on the serial path and merged
+    into the same record list.
     """
     from repro.bench.engines import engine_by_name
+    from repro.errors import SmtLibError
     from repro.serve import Job, solve_batch
     from repro.smtlib.writer import script_text
 
     for engine in engines:
         engine_by_name(engine.name)  # fail fast on unregistered engines
 
-    texts = [
-        script_text(p.formula, builder.algebra, status=p.expected)
-        for p in problems
-    ]
+    texts = []
+    for p in problems:
+        try:
+            texts.append(
+                script_text(p.formula, builder.algebra, status=p.expected)
+            )
+        except SmtLibError:
+            texts.append(None)
+    records = []
     batch = []
     cells = []
     for engine in engines:
         for problem, text in zip(problems, texts):
+            if text is None:
+                records.append(run_problem(
+                    engine, builder, problem, fuel=fuel, seconds=seconds,
+                ))
+                continue
             batch.append(Job(
                 "%s/%s" % (engine.name, problem.name), "bench",
                 {"engine": engine.name, "smt2": text},
@@ -200,7 +216,6 @@ def run_matrix_parallel(engines, problems, builder, fuel=200000, seconds=2.0,
         batch, workers=jobs, fuel=fuel, seconds=seconds,
         progress=pool_progress,
     )
-    records = []
     for result, (engine_name, problem) in zip(report.results, cells):
         if result.outcome is not None:
             records.append(Record(

@@ -20,8 +20,8 @@ Determinization Blowup    14     14
 """
 
 from repro.bench.generators import (
-    blowup, boolean_loops, dates, kaluza, norn, passwords, regexlib, slog,
-    sygus,
+    blowup, boolean_loops, dates, kaluza, lookarounds, norn, passwords,
+    regexlib, slog, sygus,
 )
 from repro.regex.semantics import Matcher
 from repro.solver.result import Budget
@@ -60,6 +60,7 @@ def handwritten_suites(builder):
         + passwords.generate(builder)
         + boolean_loops.generate(builder)
         + blowup.generate(builder)
+        + lookarounds.generate(builder)
     )
 
 

@@ -16,7 +16,8 @@ tools without complement support in the paper's evaluation.
 
 from repro.errors import UnsupportedError
 from repro.regex.ast import (
-    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOK_KINDS, LOOP, PRED,
+    UNION,
 )
 
 
@@ -72,6 +73,11 @@ def linear_form(builder, regex):
     if kind == COMPL:
         raise UnsupportedError(
             "Antimirov partial derivatives do not support complement"
+        )
+    if kind in LOOK_KINDS:
+        raise UnsupportedError(
+            "Antimirov partial derivatives do not support zero-width "
+            "assertions; eliminate lookarounds first"
         )
     raise AssertionError("unknown node kind %r" % kind)
 

@@ -25,8 +25,10 @@ behaves like a single letter), which is the *local mintermization*
 escape hatch [36] uses — at up to ``2^n`` minterms per step.
 """
 
+from repro.errors import UnsupportedError
 from repro.regex.ast import (
-    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOK_KINDS, LOOP, PRED,
+    UNION,
 )
 
 
@@ -80,6 +82,11 @@ def _derive(builder, pred, regex, over):
         # approximation of R, and vice versa
         return builder.compl(
             _derive(builder, pred, regex.children[0], not over)
+        )
+    if kind in LOOK_KINDS:
+        raise UnsupportedError(
+            "approximate derivatives do not support zero-width "
+            "assertions; eliminate lookarounds first"
         )
     raise AssertionError("unknown node kind %r" % kind)
 

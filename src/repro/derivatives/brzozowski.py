@@ -13,8 +13,10 @@ class.  This module provides:
 """
 
 from repro.alphabet.minterms import minterms
+from repro.errors import UnsupportedError
 from repro.regex.ast import (
-    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOK_KINDS, LOOP, PRED,
+    UNION,
 )
 
 
@@ -65,6 +67,16 @@ def _derive(builder, node, char, go):
         return builder.inter([go(c) for c in node.children])
     if kind == COMPL:
         return builder.compl(go(node.children[0]))
+    if kind in LOOK_KINDS:
+        # the zero-width node-local derivative is bottom, but iterated
+        # matching through the compositional concat rule would then be
+        # silently wrong (e.g. "(?=a)a" would derive to bottom on 'a'):
+        # refuse with a typed error so callers degrade to unknown —
+        # eliminate lookarounds first (repro.regex.transform)
+        raise UnsupportedError(
+            "Brzozowski derivatives do not support zero-width "
+            "assertions; eliminate lookarounds first"
+        )
     raise AssertionError("unknown node kind %r" % kind)
 
 

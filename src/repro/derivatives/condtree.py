@@ -19,9 +19,11 @@ check this engine pointwise against the literal pipeline and against
 classical Brzozowski derivatives.
 """
 
+from repro.errors import UnsupportedError
 from repro.obs import Observability
 from repro.regex.ast import (
-    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOK_KINDS, LOOP, PRED,
+    UNION,
 )
 
 
@@ -294,6 +296,16 @@ class DerivativeEngine:
             return self._fold(_INTER, regex.children)
         if kind == COMPL:
             return self.negate(self.derivative(regex.children[0]))
+        if kind in LOOK_KINDS:
+            # assertions are positional: their truth at a state depends
+            # on context the fused automaton does not carry, and the
+            # compositional concat rule above would silently mis-derive
+            # through them.  Typed refusal; the solver eliminates
+            # lookarounds (repro.regex.transform) before reaching here.
+            raise UnsupportedError(
+                "conditional-tree derivatives do not support zero-width "
+                "assertions; eliminate lookarounds first"
+            )
         raise AssertionError("unknown node kind %r" % kind)
 
     def _fold(self, op, children):

@@ -19,7 +19,8 @@ Rules (plus the loop generalization used for bounded quantifiers)::
 """
 
 from repro.regex.ast import (
-    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOK_KINDS, LOOP, PRED,
+    UNION,
 )
 from repro.derivatives.transition import (
     TRCompl, TRCond, TRInter, TRLeaf, TRUnion, apply, tr_concat,
@@ -51,6 +52,16 @@ def derivative(builder, regex):
         return TRInter(tuple(derivative(builder, c) for c in regex.children))
     if regex.kind == COMPL:
         return TRCompl(derivative(builder, regex.children[0]))
+    if regex.kind in LOOK_KINDS:
+        # the location-based rule (SNIPPETS' SymbolicDerivative.lean):
+        # an assertion is zero-width, so consuming any character from
+        # it yields the empty language.  Note this is a *node-local*
+        # rule: matching a pattern that concatenates assertions with
+        # consuming parts additionally needs the assertion's context-
+        # dependent nullability, which this engine realizes by
+        # eliminating lookarounds up front (repro.regex.transform)
+        # rather than by threading positions through derivatives.
+        return TRLeaf(builder.empty)
     raise AssertionError("unknown node kind %r" % regex.kind)
 
 

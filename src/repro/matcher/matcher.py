@@ -40,16 +40,35 @@ class RegexMatcher:
         self.builder = builder
         self.regex = regex
         self.dfa = dfa or LazyDfa(builder)
+        self._sem = None
         if state is not None:
             # account/compact this matcher's DFA rows with the rest of
             # the engine state, and keep its regex across compactions
             state.register_dfa(self.dfa)
             state.pin(regex)
 
+    def _semantics(self):
+        """Positional reference matcher, for assertion-bearing regexes.
+
+        Zero-width assertions are evaluated against the *whole* text,
+        which the derivative DFA cannot express (and lookaround
+        elimination would silently change ``search``: ``^a`` as a
+        fullmatch language is just ``a``, but searching it inside
+        ``"ba"`` must still fail).  Delegating keeps every entry point
+        exact at the cost of the reference matcher's polynomial scan.
+        """
+        if self._sem is None:
+            from repro.regex.semantics import Matcher
+
+            self._sem = Matcher(self.builder.algebra)
+        return self._sem
+
     # -- whole-string matching ------------------------------------------------
 
     def fullmatch(self, text):
         """True iff the entire ``text`` is in the language."""
+        if self.regex.has_look:
+            return self._semantics().matches(self.regex, text)
         state = self.regex
         for _, state in self.dfa.run(self.regex, text):
             if state is self.builder.empty:
@@ -94,6 +113,11 @@ class RegexMatcher:
         also <= it, so we scan starts only up to that bound and take
         the first that yields any match.
         """
+        if self.regex.has_look:
+            span = self._semantics().search(self.regex, text, start)
+            if span is None:
+                return None
+            return Match(text, span[0], span[1])
         bound = self._earliest_end(text, start)
         if bound is None:
             return None
@@ -112,6 +136,8 @@ class RegexMatcher:
 
     def is_match(self, text):
         """True iff some substring of ``text`` matches."""
+        if self.regex.has_look:
+            return self._semantics().search(self.regex, text) is not None
         return self._earliest_end(text, 0) is not None
 
     def finditer(self, text):

@@ -27,6 +27,37 @@ INTER = "inter"      # & (flattened, sorted, >= 2 children)
 COMPL = "compl"      # ~ complement
 LOOP = "loop"        # R{lo,hi}; hi None means unbounded; star is {0,None}
 
+# Zero-width assertions (lookarounds).  These are *positional*
+# constructs: whether they match at a position depends on the
+# surrounding string, not just on the span they cover (which is always
+# empty).  Anchors ``^``, ``$``, ``\b`` desugar to them in the parser.
+LOOKAHEAD = "lookahead"          # (?=R)
+NEG_LOOKAHEAD = "neg_lookahead"  # (?!R)
+LOOKBEHIND = "lookbehind"        # (?<=R)
+NEG_LOOKBEHIND = "neg_lookbehind"  # (?<!R)
+
+#: All zero-width assertion kinds.
+LOOK_KINDS = frozenset(
+    (LOOKAHEAD, NEG_LOOKAHEAD, LOOKBEHIND, NEG_LOOKBEHIND)
+)
+
+#: Polarity flip, direction preserved: ``not (?=R)`` is ``(?!R)``.
+NEGATED_LOOK = {
+    LOOKAHEAD: NEG_LOOKAHEAD,
+    NEG_LOOKAHEAD: LOOKAHEAD,
+    LOOKBEHIND: NEG_LOOKBEHIND,
+    NEG_LOOKBEHIND: LOOKBEHIND,
+}
+
+#: Direction flip, polarity preserved: under :func:`repro.regex.
+#: transform.reverse`, ``(?=R)`` becomes ``(?<=rev R)``.
+REVERSED_LOOK = {
+    LOOKAHEAD: LOOKBEHIND,
+    LOOKBEHIND: LOOKAHEAD,
+    NEG_LOOKAHEAD: NEG_LOOKBEHIND,
+    NEG_LOOKBEHIND: NEG_LOOKAHEAD,
+}
+
 #: Marker for an unbounded loop upper bound.
 INF = None
 
@@ -42,7 +73,7 @@ class Regex:
 
     __slots__ = (
         "kind", "pred", "children", "lo", "hi", "uid", "nullable", "owner",
-        "_hash",
+        "has_look", "_hash",
     )
 
     def __init__(self, kind, pred, children, lo, hi, uid, nullable, owner=None):
@@ -54,6 +85,12 @@ class Regex:
         self.hi = hi
         self.uid = uid
         self.nullable = nullable
+        # positional guard: True iff a lookaround occurs anywhere in
+        # the subterm DAG.  Passes that are only sound on classical
+        # (non-positional) regexes key their fast path off this flag.
+        self.has_look = kind in LOOK_KINDS or any(
+            c.has_look for c in children
+        )
         self._hash = hash((kind, uid))
 
     def __hash__(self):
@@ -128,7 +165,7 @@ class Regex:
         standard regexes, i.e. no ``&``/``~`` nested under ``.``/loops."""
 
         def standard(node):
-            if node.kind in (INTER, COMPL):
+            if node.kind in (INTER, COMPL) or node.kind in LOOK_KINDS:
                 return False
             return all(standard(child) for child in node.children or ())
 

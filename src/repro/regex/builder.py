@@ -21,7 +21,9 @@ level.
 
 from repro.errors import AlgebraError
 from repro.regex.ast import (
-    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, Regex, UNION,
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOK_KINDS, LOOKAHEAD,
+    LOOKBEHIND, LOOP, NEG_LOOKAHEAD, NEG_LOOKBEHIND, NEGATED_LOOK, PRED,
+    Regex, UNION,
 )
 
 
@@ -146,6 +148,15 @@ class RegexBuilder:
                 return absorber
             if fused is not unit:
                 members[fused.uid] = fused
+        if kind == INTER and self.epsilon.uid in members:
+            # eps & R = eps when eps in L(R), else bottom — but only
+            # when no member carries assertions: positionally,
+            # eps & (?!a) *is* the assertion, not eps
+            rest = [m for m in members.values() if m.kind != EPSILON]
+            if not any(m.has_look for m in rest):
+                if all(m.nullable for m in rest):
+                    return self.epsilon
+                return self.empty
         if not members:
             return unit
         children = sorted(members.values(), key=lambda r: r.uid)
@@ -181,6 +192,63 @@ class RegexBuilder:
             return self.empty
         return self._intern(COMPL, None, (r,), None, None, not r.nullable)
 
+    # -- zero-width assertions -------------------------------------------------
+
+    def lookahead(self, r):
+        """``(?=R)`` — the suffix from here has a prefix in ``L(R)``."""
+        return self.look(LOOKAHEAD, r)
+
+    def neg_lookahead(self, r):
+        """``(?!R)`` — no prefix of the suffix from here is in ``L(R)``."""
+        return self.look(NEG_LOOKAHEAD, r)
+
+    def lookbehind(self, r):
+        """``(?<=R)`` — the prefix up to here has a suffix in ``L(R)``."""
+        return self.look(LOOKBEHIND, r)
+
+    def neg_lookbehind(self, r):
+        """``(?<!R)`` — no suffix of the prefix up to here is in ``L(R)``."""
+        return self.look(NEG_LOOKBEHIND, r)
+
+    def look(self, kind, r):
+        """Assertion of ``kind`` over body ``r``, with the identities:
+
+        * a nullable body always has the empty match available at the
+          current position, so the positive assertion is vacuously true
+          (``eps``) and the negative one vacuously false (``bottom``);
+        * an empty body can never match, so the positive assertion is
+          ``bottom`` (``(?=bottom) = bottom``) and the negative ``eps``;
+        * an assertion of an assertion collapses: asserting that a
+          zero-width assertion "matches here" *is* that assertion, and
+          negating one flips its polarity (``(?!(?!R)) = (?=R)``) —
+          note the body's own direction wins, not the wrapper's.
+        """
+        if kind not in LOOK_KINDS:
+            raise AlgebraError("not an assertion kind: %r" % (kind,))
+        positive = kind in (LOOKAHEAD, LOOKBEHIND)
+        if r.kind == EMPTY:
+            return self.empty if positive else self.epsilon
+        if r.nullable and not r.has_look:
+            # only sound for assertion-free bodies: a nullable body
+            # with assertions inside (e.g. the ``$`` body ``\n?(?!.)``)
+            # matches the empty span only at *some* positions
+            return self.epsilon if positive else self.empty
+        if r.kind in LOOK_KINDS:
+            if positive:
+                return r
+            return self.look(NEGATED_LOOK[r.kind], r.children[0])
+        # ``nullable`` stores "" in L(R) under fullmatch: on the empty
+        # string the assertion holds iff its body matches the empty
+        # string (the only span available on either side), so the bit
+        # is the body's, negated for negative assertions.  General
+        # empty-*span* matching stays positional and is decided by the
+        # reference matcher, not this bit.
+        nullable = r.nullable if positive else not r.nullable
+        return self._intern(kind, None, (r,), None, None, nullable)
+
+    #: Anchor bodies (``^``/``$``/``\b``) are built in the parser from
+    #: these assertions; see ``repro.regex.parser``.
+
     def diff(self, r, s):
         """Difference ``R & ~S`` (SMT-LIB ``re.diff``)."""
         return self.inter([r, self.compl(s)])
@@ -197,10 +265,18 @@ class RegexBuilder:
             return self.epsilon
         if r.kind == EMPTY:
             return self.epsilon if lo == 0 else self.empty
+        if r.kind in LOOK_KINDS:
+            # iterating a zero-width assertion re-checks it at the same
+            # position: {0,..} may always take zero copies (plain eps),
+            # {lo>=1,..} is one check
+            return self.epsilon if lo == 0 else r
         if lo == 1 and hi == 1:
             return r
-        if lo == 0 and hi == 1 and r.nullable:
-            # R? = R when eps is already in L(R)
+        if lo == 0 and hi == 1 and r.nullable and not r.has_look:
+            # R? = R when eps is already in L(R).  Not valid under
+            # assertions: their empty-span match is context-dependent,
+            # while R? may always skip (e.g. ``(?!a)?`` is eps, not
+            # ``(?!a)``).
             return r
         if r.kind == LOOP:
             if r.lo == 0 and r.hi is INF:
@@ -223,7 +299,7 @@ class RegexBuilder:
 
     def opt(self, r):
         """``R?`` = ``R{0,1}``."""
-        if r.nullable:
+        if r.nullable and not r.has_look:
             return r
         return self.loop(r, 0, 1)
 

@@ -11,6 +11,10 @@ two extended operators:
   escapes, ``.``, class escapes ``\\d \\D \\w \\W \\s \\S``;
 * escapes ``\\n \\r \\t \\f \\v \\0 \\xHH \\uHHHH \\u{HEX}`` and
   escaped metacharacters;
+* lookarounds ``(?=R)`` ``(?!R)`` ``(?<=R)`` ``(?<!R)`` as first-class
+  zero-width assertion nodes, and the anchors ``^`` ``$`` ``\\b``
+  ``\\B`` ``\\A`` ``\\Z`` desugared to them (``re`` single-line
+  semantics; ``\\b`` inside a class stays backspace);
 * ``()`` parses as epsilon and ``[]`` as the empty language, so every
   regex the printer can emit round-trips.
 
@@ -186,33 +190,147 @@ class _Parser:
     def parse_atom(self):
         ch = self.next()
         if ch == "(":
-            if self.eat(")"):
-                return self.builder.epsilon
-            if self.peek() == "?":
-                # only the non-capturing group marker is supported
-                self.pos += 1
-                if not self.eat(":"):
-                    self.error("unsupported group construct (?%s" % self.peek())
-            inner = self.parse_union()
-            self.expect(")")
-            return inner
+            return self.parse_group()
         if ch == ".":
             return self.builder.dot
         if ch == "[":
             return self.parse_class()
         if ch == "\\":
             return self.parse_escape_atom()
+        if ch == "^":
+            return self.anchor("A")
+        if ch == "$":
+            return self.anchor("$")
         if ch in "*+?":
             self.error("quantifier %r with nothing to repeat" % ch)
-        if ch in ")]^$":
+        if ch in ")]":
             self.error("unexpected %r" % ch)
         # '{' that did not start a bound, and a stray '}', are literals
         return self.mk_pred(self.algebra.from_char(ch))
+
+    def parse_group(self):
+        """The body after an opening ``(``: plain group, ``(?:``, or a
+        lookaround; everything else gets a specific error."""
+        group_start = self.pos - 1
+        if self.eat(")"):
+            return self.builder.epsilon
+        if self.peek() != "?":
+            inner = self.parse_union()
+            self.expect(")")
+            return inner
+        self.pos += 1
+        marker = self.peek()
+        if marker is None:
+            self.error("unexpected end of pattern")
+        look = None
+        if self.eat(":"):
+            pass
+        elif self.eat("="):
+            look = self.builder.lookahead
+        elif self.eat("!"):
+            look = self.builder.neg_lookahead
+        elif marker == "<" and self.text[self.pos + 1: self.pos + 2] in ("=", "!"):
+            self.pos += 1
+            if self.eat("="):
+                look = self.builder.lookbehind
+            else:
+                self.eat("!")
+                look = self.builder.neg_lookbehind
+        else:
+            self.reject_group(group_start, marker)
+        inner = self.parse_union()
+        self.expect(")")
+        return look(inner) if look is not None else inner
+
+    def reject_group(self, group_start, marker):
+        """A ``(?...`` construct this engine does not support: raise
+        the most specific error available, anchored at the ``(``."""
+        if marker == "<" or marker == "P":
+            self.pos = group_start
+            self.error(
+                "unsupported group construct (?%s: named/capture groups "
+                "are not supported" % marker
+            )
+        if marker == "#":
+            self.pos = group_start
+            self.error("comment groups (?#...) are not supported")
+        self.try_flag_group(group_start)
+        self.error("unsupported group construct (?%s" % marker)
+
+    def try_flag_group(self, group_start):
+        """Detect inline flag syntax ``(?flags)``, ``(?flags:...)`` or
+        ``(?flags-flags:...)`` just past ``(?`` and raise a specific,
+        position-accurate error for it (pointing at the group's ``(``);
+        fall through silently when the text is not a flag group."""
+        text = self.text
+        i = self.pos
+        j = i
+        while j < len(text) and text[j] in "aiLmsux":
+            j += 1
+        k = j
+        if k < len(text) and text[k] == "-":
+            m = k + 1
+            while m < len(text) and text[m] in "imsx":
+                m += 1
+            if m == k + 1:
+                return
+            k = m
+        if j == i and k == j:
+            return
+        if k >= len(text) or text[k] not in "):":
+            return
+        flags = text[i:k]
+        self.pos = group_start
+        if text[k] == ":":
+            self.error(
+                "scoped inline flags (?%s:...) are not supported; only "
+                "a single leading (?i) is" % flags
+            )
+        self.error(
+            "inline flag group (?%s) is only supported as a leading (?i)"
+            % flags
+        )
+
+    def anchor(self, name):
+        """Desugar an anchor to zero-width assertions (``re`` oracle,
+        single-line mode): ``^``/``\\A`` is "no character ends here",
+        ``\\Z`` is "no character starts here", ``$`` additionally
+        admits a position before a trailing newline, and ``\\b``/
+        ``\\B`` compare word-membership of the neighbouring characters.
+        """
+        b = self.builder
+        if name == "A":
+            return b.neg_lookbehind(b.dot)
+        if name == "Z":
+            return b.neg_lookahead(b.dot)
+        if name == "$":
+            newline = b.pred(self.algebra.from_char("\n"))
+            return b.lookahead(
+                b.concat([b.opt(newline), b.neg_lookahead(b.dot)])
+            )
+        word = b.pred(ESCAPE_CLASSES["w"](self.algebra))
+        before = b.lookbehind(word)
+        not_before = b.neg_lookbehind(word)
+        after = b.lookahead(word)
+        not_after = b.neg_lookahead(word)
+        if name == "b":
+            return b.union([
+                b.concat([before, not_after]),
+                b.concat([not_before, after]),
+            ])
+        return b.union([
+            b.concat([before, after]),
+            b.concat([not_before, not_after]),
+        ])
 
     def parse_escape_atom(self):
         ch = self.next()
         if ch in ESCAPE_CLASSES:
             return self.builder.pred(ESCAPE_CLASSES[ch](self.algebra))
+        if ch in ("b", "B", "A", "Z"):
+            # word-boundary and string anchors; inside a class "\b" is
+            # still backspace (see finish_char_escape)
+            return self.anchor(ch)
         code = self.finish_char_escape(ch)
         return self.mk_pred(self.algebra.from_ranges([(code, code)]))
 

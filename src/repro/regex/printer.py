@@ -7,8 +7,8 @@ regexes re-parse to the same regex (round-trip tested).
 """
 
 from repro.regex.ast import (
-    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
-    fold_postorder,
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOK_KINDS, LOOKAHEAD,
+    LOOKBEHIND, LOOP, NEG_LOOKAHEAD, PRED, UNION, fold_postorder,
 )
 
 _PREC_UNION = 1
@@ -134,6 +134,12 @@ def to_pattern(regex, algebra=None):
             else:
                 suffix = "{%d,%d}" % (lo, hi)
             return body + suffix, _PREC_QUANT
+        if node.kind in LOOK_KINDS:
+            inner, _ = kids[0]
+            marker = {
+                LOOKAHEAD: "=", NEG_LOOKAHEAD: "!", LOOKBEHIND: "<=",
+            }.get(node.kind, "<!")
+            return "(?%s%s)" % (marker, inner), _PREC_ATOM
         raise AssertionError("unknown node kind %r" % node.kind)
 
     text, _ = fold_postorder(regex, render)

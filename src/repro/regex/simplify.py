@@ -19,8 +19,8 @@ pass against the reference semantics on random EREs.
 """
 
 from repro.regex.ast import (
-    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
-    fold_postorder,
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOK_KINDS, LOOP, PRED,
+    UNION, fold_postorder,
 )
 
 
@@ -60,6 +60,10 @@ def _rewrite(builder, node, kids):
         return builder.union(_drop_subsumed(kids, UNION))
     if kind == INTER:
         return builder.inter(_drop_subsumed(kids, INTER))
+    if kind in LOOK_KINDS:
+        # rebuilding through the smart constructor re-applies the
+        # assertion identities after the body simplified
+        return builder.look(kind, kids[0])
     raise AssertionError("unknown node kind %r" % kind)
 
 

@@ -6,8 +6,8 @@ the test suite round-trips them through the parser.
 
 from repro.errors import SmtLibError
 from repro.regex.ast import (
-    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOP, PRED, UNION,
-    fold_postorder,
+    COMPL, CONCAT, EMPTY, EPSILON, INF, INTER, LOOK_KINDS, LOOP, PRED,
+    UNION, fold_postorder,
 )
 from repro.solver import formula as F
 from repro.smtlib.sexpr import encode_string
@@ -50,6 +50,11 @@ def regex_to_smtlib(regex, algebra=None):
                 # R{n,} = R{n} . R*
                 return "(re.++ ((_ re.^ %d) %s) (re.* %s))" % (lo, body, body)
             return "((_ re.loop %d %d) %s)" % (lo, hi, body)
+        if kind in LOOK_KINDS:
+            raise SmtLibError(
+                "cannot serialize zero-width assertions: the SMT-LIB "
+                "re theory has no lookarounds; eliminate them first"
+            )
         raise AssertionError("unknown node kind %r" % kind)
 
     return fold_postorder(regex, term)

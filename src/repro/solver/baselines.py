@@ -52,9 +52,16 @@ class _BaselineObsMixin:
 
     def is_satisfiable(self, regex, budget=None):
         """Satisfiability of one ERE; a query boundary for the engine
-        state (gauges published, compaction policy applied)."""
+        state (gauges published, compaction policy applied).
+
+        Constructs a baseline cannot soundly handle (zero-width
+        assertions above all) answer a typed unknown here, uniformly
+        across the lineup — an incomplete engine is not a wrong one.
+        """
         try:
             return self._is_satisfiable(regex, budget)
+        except UnsupportedError as exc:
+            return SolverResult(UNKNOWN, reason=str(exc))
         finally:
             self.state.end_query(keep=(regex,))
 

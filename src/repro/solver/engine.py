@@ -13,9 +13,10 @@ import time
 from collections import deque
 
 from repro.derivatives.condtree import DerivativeEngine
-from repro.errors import BudgetExceeded, ReproError
+from repro.errors import BudgetExceeded, ReproError, UnsupportedError
 from repro.obs import Observability
 from repro.obs.explain import ExplainRecorder
+from repro.regex.transform import eliminate_lookarounds
 from repro.solver.graph import RegexGraph
 from repro.solver.lifecycle import EngineState
 from repro.solver.result import (
@@ -241,6 +242,19 @@ class RegexSolver:
         budget = budget or Budget()
         self._c_queries.inc()
         mark = self._mark(budget)
+        if regex.has_look:
+            # derivative exploration is positional-blind: compile the
+            # assertions away first (fullmatch languages are preserved,
+            # so verdict and witness transfer to the original regex)
+            target = eliminate_lookarounds(self.builder, regex)
+            if target is None:
+                return SolverResult(
+                    UNKNOWN,
+                    reason="lookaround elimination incomplete: assertion "
+                           "in a position with no sound translation",
+                    stats=self._stats(mark, budget),
+                )
+            regex = target
         if self.store is not None:
             self._consult_store(regex)
         recorder = ExplainRecorder(self) if self.explain else None
@@ -259,6 +273,15 @@ class RegexSolver:
             with self._tracer.span("solver.explore", strategy=self.strategy):
                 witness = self._explore(regex, budget, recorder)
         except BudgetExceeded as exc:
+            return SolverResult(
+                UNKNOWN, reason=str(exc), stats=self._stats(mark, budget),
+                explanation=(recorder.unknown(regex, str(exc))
+                             if recorder else None),
+            )
+        except UnsupportedError as exc:
+            # defense in depth: any assertion that slipped past the
+            # elimination gate answers a typed unknown, never a wrong
+            # verdict
             return SolverResult(
                 UNKNOWN, reason=str(exc), stats=self._stats(mark, budget),
                 explanation=(recorder.unknown(regex, str(exc))
@@ -356,7 +379,15 @@ class RegexSolver:
         return result
 
     def membership(self, string, regex):
-        """Concrete membership via iterated derivatives (no search)."""
+        """Concrete membership via iterated derivatives (no search).
+
+        Assertion-bearing regexes are decided by the positional
+        reference semantics — derivatives cannot carry the context.
+        """
+        if regex.has_look:
+            from repro.regex.semantics import Matcher
+
+            return Matcher(self.builder.algebra).matches(regex, string)
         return self.engine.matches(regex, string)
 
     # -- exploration -----------------------------------------------------------

@@ -14,7 +14,8 @@ before exploring the full product space.
 """
 
 from repro.derivatives.condtree import DerivativeEngine
-from repro.errors import BudgetExceeded
+from repro.errors import BudgetExceeded, UnsupportedError
+from repro.regex.transform import eliminate_lookarounds
 from repro.solver.result import Budget, SAT, SolverResult, UNKNOWN, UNSAT
 from repro.solver.unionfind import UnionFind
 
@@ -31,6 +32,19 @@ class BisimulationChecker:
         """Decide ``L(left) == L(right)``; on failure the result's
         witness is a distinguishing string."""
         budget = budget or Budget()
+        # bisimulation derives both sides with the condtree engine,
+        # which has no sound rule for zero-width assertions: rewrite
+        # them away first, or answer a typed unknown — never guess
+        if left.has_look:
+            left = eliminate_lookarounds(self.builder, left)
+        if right.has_look:
+            right = eliminate_lookarounds(self.builder, right)
+        if left is None or right is None:
+            return SolverResult(
+                UNKNOWN,
+                reason="lookaround elimination incomplete: bisimulation "
+                "cannot derive zero-width assertions",
+            )
         uf = UnionFind()
         # stack of (left, right, path-string)
         stack = [(left, right, "")]
@@ -55,6 +69,8 @@ class BisimulationChecker:
                     char = self.algebra.pick(guard)
                     stack.append((l_next, r_next, path + char))
         except BudgetExceeded as exc:
+            return SolverResult(UNKNOWN, reason=str(exc))
+        except UnsupportedError as exc:
             return SolverResult(UNKNOWN, reason=str(exc))
         return SolverResult(SAT)
 

@@ -48,9 +48,13 @@ from repro.regex.ast import (
     COMPL, CONCAT, EMPTY, EPSILON, INTER, LOOP, PRED, UNION,
 )
 
-#: Version stamp embedded in every saved store; readers reject files
-#: from the future instead of misinterpreting them.
-STORE_SCHEMA_VERSION = 1
+#: Version stamp embedded in every saved store; readers reject any
+#: other version instead of misinterpreting it.  v2: the pattern
+#: grammar gained zero-width assertions (lookarounds, anchors), so v1
+#: snapshots may key fragments under pattern texts that now parse to a
+#: different language (``\b`` in particular changed reading) — loading
+#: them would serve wrong automata for syntactically identical keys.
+STORE_SCHEMA_VERSION = 2
 
 #: Fragments larger than this many states are not stored: the artifact
 #: size (and the warm-side parse cost) would rival a cold rebuild.
@@ -452,9 +456,9 @@ class SolverStore:
         malformed or future-schema payload."""
         if not isinstance(data, dict):
             raise ValueError("store payload is not a mapping")
-        if data.get("v", 0) > STORE_SCHEMA_VERSION:
+        if data.get("v", 0) != STORE_SCHEMA_VERSION:
             raise ValueError(
-                "store schema %r newer than %d"
+                "store schema %r does not match %d"
                 % (data.get("v"), STORE_SCHEMA_VERSION)
             )
         for fragment in data.get("fragments", ()):
@@ -515,11 +519,22 @@ class SolverStore:
 
     def load(self, path):
         """Load a snapshot file; missing files are a clean no-op (a
-        first run starts cold), malformed ones raise ValueError."""
+        first run starts cold), malformed ones raise ValueError.
+
+        A snapshot with a *different schema version* is also a clean
+        cold start, not an error: the v1→v2 bump changed what pattern
+        texts mean (zero-width assertions), so serving v1 fragments
+        under v2 keys could answer with the wrong automaton.  Starting
+        cold is always correct, merely slower; the next save rewrites
+        the file at the current version.
+        """
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
         except FileNotFoundError:
+            return self
+        if isinstance(data, dict) \
+                and data.get("v", 0) != STORE_SCHEMA_VERSION:
             return self
         return self.from_dict(data)
 

@@ -3,7 +3,10 @@
 A campaign draws random EREs from :class:`RegexGen`, runs each through
 the cross-engine oracle and the metamorphic identities, and — on the
 standard fragment — cross-checks the matcher's leftmost search against
-Python's ``re``.  Anything flagged is shrunk to a minimal reproducer
+Python's ``re``.  A third stream generates pattern *texts* with
+anchors and lookarounds and runs them differentially against Python
+``re`` (fullmatch, search start, solver soundness) on the same source
+text.  Anything flagged is shrunk to a minimal reproducer
 (:mod:`repro.verify.shrink`) and reported; findings whose shrunk
 pattern is already frozen in the corpus are *explained*, everything
 else is a new bug and fails CI.
@@ -117,6 +120,75 @@ class RegexGen:
             [(ord(c), ord(c)) for c in chars]
         ))
 
+    # -- lookaround stream: pattern *texts* both engines can read ---------
+
+    def fragment_text(self, depth):
+        """A pattern string in the fragment Python ``re`` mirrors."""
+        rng = self.rng
+        if depth <= 0:
+            return rng.choice(self.alphabet)
+        roll = rng.random()
+        if roll < 0.3:
+            return rng.choice(self.alphabet)
+        if roll < 0.55:
+            return "".join(
+                self.fragment_text(depth - 1)
+                for _ in range(rng.randint(2, 3))
+            )
+        if roll < 0.75:
+            return "(?:%s|%s)" % (
+                self.fragment_text(depth - 1), self.fragment_text(depth - 1),
+            )
+        if roll < 0.92:
+            return "(?:%s)%s" % (
+                self.fragment_text(depth - 1),
+                rng.choice(["*", "+", "?", "{1,2}", "{0,2}"]),
+            )
+        return self.look_text(depth - 1)
+
+    def look_text(self, depth):
+        """One lookaround group; lookbehind bodies stay fixed-width so
+        Python ``re`` accepts the pattern too."""
+        rng = self.rng
+        marker = rng.choice(["(?=", "(?!", "(?<=", "(?<!"])
+        if marker in ("(?<=", "(?<!"):
+            body = "".join(
+                rng.choice(self.alphabet)
+                for _ in range(rng.randint(1, 2))
+            )
+        else:
+            body = self.fragment_text(depth)
+        return marker + body + ")"
+
+    def anchor_text(self, leading):
+        anchors = ["\\b", "\\B"]
+        anchors.extend(["^", "\\A"] if leading else ["$", "\\Z"])
+        return self.rng.choice(anchors)
+
+    def lookaround_pattern(self, depth=2):
+        """A pattern text mixing consuming parts with anchors and
+        lookarounds, in the fragment Python ``re`` can mirror."""
+        rng = self.rng
+        parts = []
+        if rng.random() < 0.6:
+            parts.append(
+                self.anchor_text(True) if rng.random() < 0.5
+                else self.look_text(depth)
+            )
+        parts.append(self.fragment_text(depth))
+        if rng.random() < 0.4:
+            parts.append(
+                self.anchor_text(rng.random() < 0.5) if rng.random() < 0.5
+                else self.look_text(max(depth - 1, 0))
+            )
+            parts.append(self.fragment_text(max(depth - 1, 0)))
+        if rng.random() < 0.6:
+            parts.append(
+                self.anchor_text(False) if rng.random() < 0.5
+                else self.look_text(depth)
+            )
+        return "".join(parts)
+
 
 def solver_findings(builder, regex, fuel=CASE_FUEL, seconds=CASE_SECONDS):
     """Oracle disagreements plus metamorphic violations, as dicts."""
@@ -155,6 +227,81 @@ def search_mismatch(builder, regex, texts):
                 "ours": list(ours.span()),
                 "theirs": list(theirs.span()),
             }
+    return None
+
+
+def lookaround_mismatch(builder, pattern, texts, fuel=CASE_FUEL,
+                        seconds=CASE_SECONDS):
+    """First failure of the lookaround differential for one pattern
+    text, or None.
+
+    Three checks, all against Python ``re`` on the *same source text*:
+    fullmatch agreement via the reference semantics, search agreement
+    (existence and start position — our reference search returns the
+    smallest end, not the greedy one), and solver soundness (an unsat
+    verdict with an observed member, or a sat witness Python rejects,
+    is a bug; unknown is not).
+    """
+    import sys
+
+    from repro.regex.semantics import Matcher
+    from repro.solver import Budget, RegexSolver
+
+    try:
+        compiled = stdlib_re.compile(pattern)
+    except stdlib_re.error:
+        return None
+    regex = parse(builder, pattern)
+    sem = Matcher(builder.algebra)
+    # before 3.12, Python's \B never matches the empty string; 3.12+
+    # (and this engine, where \B is exactly the negation of \b) says
+    # it does — skip the one known-divergent input on old interpreters
+    skip_empty = "\\B" in pattern and sys.version_info < (3, 12)
+    member_seen = None
+    for text in texts:
+        if text == "" and skip_empty:
+            continue
+        ours_full = sem.matches(regex, text)
+        theirs_full = compiled.fullmatch(text) is not None
+        if ours_full != theirs_full:
+            return {
+                "kind": "look-fullmatch", "text": text,
+                "ours": ours_full, "theirs": theirs_full,
+            }
+        if theirs_full and member_seen is None:
+            member_seen = text
+        ours_span = sem.search(regex, text)
+        theirs_span = compiled.search(text)
+        if (ours_span is None) != (theirs_span is None):
+            return {
+                "kind": "look-search-existence", "text": text,
+                "ours": None if ours_span is None else list(ours_span),
+                "theirs": None if theirs_span is None
+                else list(theirs_span.span()),
+            }
+        if ours_span is not None and ours_span[0] != theirs_span.start():
+            return {
+                "kind": "look-search-start", "text": text,
+                "ours": list(ours_span),
+                "theirs": list(theirs_span.span()),
+            }
+    solver = RegexSolver(builder)
+    verdict = solver.is_satisfiable(
+        regex, Budget(fuel=fuel, seconds=seconds)
+    )
+    if verdict.status == "unsat" and member_seen is not None:
+        return {
+            "kind": "look-solver-unsat", "text": member_seen,
+            "detail": "solver says unsat but %r is a member" % member_seen,
+        }
+    if verdict.status == "sat" and verdict.witness is not None \
+            and not (verdict.witness == "" and skip_empty) \
+            and compiled.fullmatch(verdict.witness) is None:
+        return {
+            "kind": "look-solver-witness", "text": verdict.witness,
+            "detail": "sat witness %r rejected by Python re"
+            % verdict.witness,
+        }
     return None
 
 
@@ -203,6 +350,35 @@ def run_shard(args):
             findings.append({
                 "stream": "search",
                 "pattern": to_pattern(regex, builder.algebra),
+                "shrunk": to_pattern(shrunk, builder.algebra),
+                "text": text,
+                "details": [mismatch],
+                "seed": seed,
+                "case": cases,
+            })
+            continue
+        if cases % 4 == 2:
+            # lookaround stream: anchors and assertions differentially
+            # against Python re on the same pattern text
+            pattern = gen.lookaround_pattern(rng.randint(1, 2))
+            texts = _sample_texts(rng, alphabet)
+            mismatch = lookaround_mismatch(
+                builder, pattern, texts, fuel, seconds
+            )
+            if mismatch is None:
+                continue
+            text = mismatch.get("text") or ""
+            regex = parse(builder, pattern)
+            shrunk = shrink(
+                builder, regex,
+                lambda r: lookaround_mismatch(
+                    builder, to_pattern(r, builder.algebra), [text],
+                    fuel, seconds,
+                ) is not None,
+            )
+            findings.append({
+                "stream": "lookaround",
+                "pattern": pattern,
                 "shrunk": to_pattern(shrunk, builder.algebra),
                 "text": text,
                 "details": [mismatch],

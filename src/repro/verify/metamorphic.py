@@ -60,10 +60,14 @@ def check_identities(builder, regex, solver=None, fuel=200000, seconds=5.0):
         return violations
 
     # -- derivative expansion: sat(R) <=> nullable(R) or some branch sat
+    # (skipped for zero-width assertions: the condtree engine has no
+    # sound derivative rule for them, by design)
     algebra = builder.algebra
     engine = DerivativeEngine(builder)
     expanded = None
-    if regex.nullable:
+    if regex.has_look:
+        expanded = None
+    elif regex.nullable:
         expanded = "sat"
     else:
         expanded = "unsat"
@@ -121,7 +125,10 @@ def check_identities(builder, regex, solver=None, fuel=200000, seconds=5.0):
             % (de_morgan.witness,),
         ))
 
-    # -- length-analysis consistency
+    # -- length-analysis consistency (structural bounds are undefined
+    # for zero-width assertions and refuse them with a typed error)
+    if regex.has_look:
+        return violations
     low, high = structural_min(regex), structural_max(regex)
     if base.status == "sat":
         if low is NO_MEMBER:

@@ -141,6 +141,11 @@ class CrossEngineOracle:
                     % (name, witness),
                     verdicts, witnesses,
                 ))
+            elif regex.has_look:
+                # the DFA matcher has no sound derivative rule for
+                # zero-width assertions; the reference semantics above
+                # is the only witness check available
+                continue
             elif not RegexMatcher(self.builder, regex).fullmatch(witness):
                 findings.append(Disagreement(
                     "matcher",

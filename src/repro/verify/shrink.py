@@ -20,7 +20,7 @@ escape.
 """
 
 from repro.regex.ast import (
-    COMPL, CONCAT, INF, INTER, LOOP, PRED, UNION,
+    COMPL, CONCAT, INF, INTER, LOOK_KINDS, LOOP, PRED, UNION,
 )
 
 
@@ -88,6 +88,8 @@ def _rebuild(builder, node, index, replacement):
     parts[index] = replacement
     if node.kind == COMPL:
         return builder.compl(parts[0])
+    if node.kind in LOOK_KINDS:
+        return builder.look(node.kind, parts[0])
     if node.kind == LOOP:
         return builder.loop(parts[0], node.lo, node.hi)
     return _nary(builder, node.kind, parts)

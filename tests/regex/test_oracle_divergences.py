@@ -74,11 +74,19 @@ class TestUnsupportedEscapes:
     """
 
     @pytest.mark.parametrize("pattern", [
-        "\\bfoo\\b", "(a)\\1", "\\z", "\\B", "\\A", "\\Z", "\\8", "\\99",
+        "(a)\\1", "\\z", "\\8", "\\99",
     ])
     def test_raises_unsupported_escape(self, builder, pattern):
         with pytest.raises(RegexSyntaxError, match="unsupported escape"):
             parse(builder, pattern)
+
+    @pytest.mark.parametrize("pattern", [
+        "\\bfoo\\b", "\\B", "\\A", "\\Z",
+    ])
+    def test_anchor_escapes_now_parse(self, builder, pattern):
+        # \b/\B/\A/\Z used to raise "unsupported escape"; they are
+        # word-boundary and string-edge anchors now
+        assert parse(builder, pattern) is not None
 
     def test_class_rejects_non_octal_digit(self, builder):
         with pytest.raises(RegexSyntaxError, match="unsupported escape"):

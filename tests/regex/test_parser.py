@@ -141,7 +141,7 @@ class TestEscapes:
 
 class TestErrors:
     @pytest.mark.parametrize("bad", [
-        "(a", "a)", "[a", "(?", "(?=x)", "*a", "a**|)"
+        "(a", "a)", "[a", "(?", "(?=x", "*a", "a**|)"
     ])
     def test_malformed_patterns(self, ascii_builder, bad):
         with pytest.raises(RegexSyntaxError):

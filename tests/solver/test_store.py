@@ -20,6 +20,7 @@ from repro.regex import RegexBuilder, parse, to_pattern
 from repro.solver.engine import RegexSolver
 from repro.solver.lifecycle import CompactionPolicy
 from repro.solver.store import (
+    STORE_SCHEMA_VERSION,
     SolverStore,
     build_fragment,
     canonical_pattern,
@@ -142,16 +143,49 @@ def test_load_missing_file_is_cold_start(tmp_path):
     assert len(store) == 0
 
 
-def test_future_schema_rejected(tmp_path):
-    path = tmp_path / "future.json"
-    path.write_text(json.dumps({"v": 999, "fragments": []}))
+def test_schema_mismatch_is_clean_cold_start(tmp_path):
+    # any other schema version (older *or* newer) loads as an empty
+    # store: starting cold is always correct, serving mis-keyed
+    # fragments is not.  from_dict stays strict for programmatic use.
+    for version in (1, 999):
+        path = tmp_path / ("schema-%d.json" % version)
+        path.write_text(json.dumps({"v": version, "fragments": []}))
+        store = SolverStore().load(str(path))
+        assert len(store) == 0
     with pytest.raises(ValueError):
-        SolverStore().load(str(path))
+        SolverStore().from_dict({"v": 999, "fragments": []})
+
+
+def test_v1_snapshot_with_stale_pattern_key_is_ignored(tmp_path):
+    # adversarial: a v1-era snapshot carrying a fragment keyed under a
+    # pattern text whose meaning changed at v2 (``\b`` outside a class
+    # is now a word boundary, not an error/backspace).  The version
+    # gate must discard the file wholesale — before fragment keys are
+    # even looked at — and the lookaround query then runs cold and
+    # still gets the right verdict.
+    path = tmp_path / "store.json"
+    path.write_text(json.dumps({
+        "v": 1,
+        "fragments": [{
+            "algebra": "interval:127",
+            "key": "\\ba",
+            "states": [["?", []]],
+            "rows": {},
+        }],
+    }))
+    store = SolverStore().load(str(path))
+    assert len(store) == 0
+    builder, _, result = _solve_capturing(store, r"\ba")
+    assert result.is_sat
+    from repro.regex.semantics import matches
+    assert matches(builder.algebra, parse(builder, r"\ba"), result.witness)
 
 
 def test_malformed_fragment_rejected():
     with pytest.raises(ValueError):
-        SolverStore().from_dict({"v": 1, "fragments": [{"nonsense": 1}]})
+        SolverStore().from_dict(
+            {"v": STORE_SCHEMA_VERSION, "fragments": [{"nonsense": 1}]}
+        )
     with pytest.raises(ValueError):
         SolverStore().from_dict([1, 2, 3])
 

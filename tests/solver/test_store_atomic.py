@@ -16,7 +16,7 @@ from repro.alphabet import IntervalAlgebra
 from repro.regex import RegexBuilder, parse
 from repro.solver.engine import RegexSolver
 from repro.solver.result import Budget
-from repro.solver.store import SolverStore
+from repro.solver.store import STORE_SCHEMA_VERSION, SolverStore
 
 
 def fragment_for(pattern):
@@ -154,7 +154,7 @@ class TestTwoWriterStress:
         final = SolverStore()
         final.load(path)
         data = json.loads(open(path, "r", encoding="utf-8").read())
-        assert data["v"] == 1
+        assert data["v"] == STORE_SCHEMA_VERSION
         # ... and both writers' fragments survived the race (each
         # writer's last save_merged folded the other's work in)
         expected = SolverStore()

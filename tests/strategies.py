@@ -87,6 +87,34 @@ def extended_regexes(builder, max_leaves=6):
     return st.recursive(_leaves(builder), extend, max_leaves=max_leaves)
 
 
+def lookarounds(builder, max_leaves=4):
+    """Zero-width assertion nodes over standard bodies."""
+    body = standard_regexes(builder, max_leaves=max_leaves)
+    return st.one_of(
+        body.map(builder.lookahead),
+        body.map(builder.neg_lookahead),
+        body.map(builder.lookbehind),
+        body.map(builder.neg_lookbehind),
+    )
+
+
+def lookaround_regexes(builder, max_leaves=6):
+    """EREs with lookarounds mixed into the concatenation structure:
+    assertion nodes appear as leaves next to consuming material, the
+    shape the elimination pipeline and the positional matcher see."""
+    leaves = st.one_of(_leaves(builder), lookarounds(builder))
+
+    def extend(children):
+        return st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(builder.concat),
+            st.lists(children, min_size=2, max_size=3).map(builder.union),
+            children.map(builder.star),
+            children.map(builder.opt),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
 def short_strings(max_length=5):
     """Strings over the test alphabet."""
     return st.text(alphabet=ALPHABET, max_size=max_length)

@@ -15,12 +15,14 @@ rather than a flake source.
 
 import random
 import re
+import sys
 
 import pytest
 
 from repro.alphabet import IntervalAlgebra
 from repro.regex import RegexBuilder, parse
-from repro.regex.semantics import matches
+from repro.regex.printer import to_pattern
+from repro.regex.semantics import Matcher, matches
 
 ALPHABET = "ab01"
 SEED = 0x5BD
@@ -58,12 +60,33 @@ REGRESSION_CORPUS = [
     "[]a]*",              # leading ] is a literal member
     "[]ab]{,3}",
     "[^]a]",
+    # anchors and lookarounds as first-class constructs (PR 10)
+    "^a*$",
+    "^(a|b)+$",
+    "\\Aab\\Z",
+    "a$|^b",
+    "(?=a)a",
+    "(?=a*b)a+",
+    "(?!ab)a.",
+    "a(?<=a)b",
+    "ab(?<!a)",
+    "\\ba\\b",
+    "\\bab\\b a",
+    "\\Bb",
+    ".*\\bab\\b.*",
+    "(?:(?!aa).)*",
+    "^(?=.*a)(?=.*b).{2,4}$",
+    "^(?!.*b1).*$",
+    "[\\b]",              # inside a class \b stays the backspace char
 ]
 
 
 class PatternGen:
     """Random patterns over the re-compatible operator set, including
-    the escape/bound/class spellings PR 4's parser fixes cover."""
+    the escape/bound/class spellings PR 4's parser fixes cover and
+    (with ``looks=True``) the PR 10 zero-width assertions: anchors,
+    word boundaries, lookarounds with re-acceptable (fixed-width)
+    lookbehind bodies."""
 
     #: alternative spellings of the alphabet characters that both
     #: engines must read identically: hex, octal-with-leading-zero,
@@ -75,8 +98,9 @@ class PatternGen:
         "1": ["\\x31", "\\061"],
     }
 
-    def __init__(self, rng):
+    def __init__(self, rng, looks=False):
         self.rng = rng
+        self.looks = looks
 
     def literal(self):
         char = self.rng.choice(ALPHABET)
@@ -127,14 +151,38 @@ class PatternGen:
         high = low + self.rng.randint(0, 2)
         return "%s{%d,%d}" % (atom, low, high)
 
-    def branch(self, depth):
-        return "".join(
-            self.piece(depth) for _ in range(self.rng.randint(1, 4))
+    def assertion(self, depth):
+        roll = self.rng.random()
+        if roll < 0.35:
+            return self.rng.choice(["\\b", "\\b", "\\B"])
+        if roll < 0.55:
+            # lookbehind bodies must be fixed-width for re to accept
+            body = "".join(
+                self.rng.choice(ALPHABET)
+                for _ in range(self.rng.randint(1, 2))
+            )
+            return "(?<%s%s)" % (self.rng.choice("=!"), body)
+        return "(?%s%s)" % (
+            self.rng.choice("=!"), self.branch(max(depth - 1, 0))
         )
+
+    def branch(self, depth):
+        pieces = [self.piece(depth) for _ in range(self.rng.randint(1, 4))]
+        if self.looks and self.rng.random() < 0.3:
+            pieces.insert(
+                self.rng.randint(0, len(pieces)), self.assertion(depth)
+            )
+        return "".join(pieces)
 
     def pattern(self, depth=3):
         branches = [self.branch(depth) for _ in range(self.rng.randint(1, 3))]
-        return "|".join(branches)
+        out = "|".join(branches)
+        if self.looks and len(branches) == 1:
+            if self.rng.random() < 0.25:
+                out = self.rng.choice(["^", "\\A"]) + out
+            if self.rng.random() < 0.25:
+                out = out + self.rng.choice(["$", "\\Z"])
+        return out
 
 
 def sample_strings(rng, pattern):
@@ -155,11 +203,21 @@ def sample_strings(rng, pattern):
     return sorted(out)
 
 
+def _skip_empty(pattern):
+    """Before 3.12, re's ``\\B`` never matches in the empty string;
+    this engine (like 3.12+) reads it as not-``\\b``, which does.
+    Differential checks skip the empty text on old interpreters."""
+    return "\\B" in pattern and sys.version_info < (3, 12)
+
+
 def check_pattern(builder, pattern, strings):
     compiled = re.compile(pattern)
     regex = parse(builder, pattern)
+    skip_empty = _skip_empty(pattern)
     disagreements = []
     for string in strings:
+        if skip_empty and string == "":
+            continue
         expected = compiled.fullmatch(string) is not None
         got = matches(builder.algebra, regex, string)
         if got != expected:
@@ -184,7 +242,7 @@ def test_frozen_regression_corpus(builder):
 
 def test_seeded_fuzz_membership_agrees_with_re(builder):
     rng = random.Random(SEED)
-    gen = PatternGen(rng)
+    gen = PatternGen(rng, looks=True)
     checked = 0
     failures = {}
     while checked < N_PATTERNS:
@@ -207,6 +265,56 @@ def test_generator_is_deterministic():
     first = [PatternGen(random.Random(SEED)).pattern() for _ in range(10)]
     second = [PatternGen(random.Random(SEED)).pattern() for _ in range(10)]
     assert first == second
+
+
+_ASSERTION_MARKS = re.compile(r"\(\?<?[=!]|\\b|\\B|\\A|\\Z|[\^$]")
+
+
+def test_seeded_lookaround_fuzz_agrees_with_re(builder):
+    """Generated assertion-bearing patterns: fullmatch equality,
+    search existence + start position, and print->parse->print
+    fixpoint.  Search end positions are not compared — the positional
+    matcher returns the smallest end for the leftmost start, re the
+    greedy one."""
+    rng = random.Random(SEED + 3)
+    gen = PatternGen(rng, looks=True)
+    matcher = Matcher(builder.algebra)
+    checked = 0
+    failures = {}
+    while checked < 60:
+        pattern = gen.pattern(depth=2)
+        if not _ASSERTION_MARKS.search(pattern):
+            continue
+        try:
+            compiled = re.compile(pattern)
+        except re.error:  # pragma: no cover - generator stays in-fragment
+            continue
+        checked += 1
+        regex = parse(builder, pattern)
+        printed = to_pattern(regex)
+        assert to_pattern(parse(builder, printed)) == printed
+        skip_empty = _skip_empty(pattern)
+        for string in sample_strings(rng, pattern):
+            if skip_empty and string == "":
+                continue
+            expected = compiled.fullmatch(string) is not None
+            got = matcher.matches(regex, string)
+            if got != expected:
+                failures.setdefault(pattern, []).append(
+                    ("fullmatch", string, expected, got)
+                )
+                continue
+            hit = compiled.search(string)
+            span = matcher.search(regex, string)
+            if (hit is None) != (span is None) or (
+                hit is not None and hit.start() != span[0]
+            ):
+                failures.setdefault(pattern, []).append(
+                    ("search", string,
+                     None if hit is None else hit.start(),
+                     None if span is None else span[0])
+                )
+    assert not failures, failures
 
 
 ASTRAL = "\U0001F600"
